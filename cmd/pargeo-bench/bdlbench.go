@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pargeo/internal/bdltree"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// bdlVariant names one curve of Figures 11/14.
+type bdlVariant struct {
+	name  string
+	mk    func() bdltree.Dynamic
+	split bdltree.SplitRule
+}
+
+func bdlVariants(dim int) []bdlVariant {
+	return []bdlVariant{
+		{"B1-object", func() bdltree.Dynamic { return bdltree.NewB1(dim, bdltree.ObjectMedian) }, bdltree.ObjectMedian},
+		{"B1-spatial", func() bdltree.Dynamic { return bdltree.NewB1(dim, bdltree.SpatialMedian) }, bdltree.SpatialMedian},
+		{"B2-object", func() bdltree.Dynamic { return bdltree.NewB2(dim, bdltree.ObjectMedian) }, bdltree.ObjectMedian},
+		{"B2-spatial", func() bdltree.Dynamic { return bdltree.NewB2(dim, bdltree.SpatialMedian) }, bdltree.SpatialMedian},
+		{"BDL-object", func() bdltree.Dynamic { return bdltree.New(dim, bdltree.Options{Split: bdltree.ObjectMedian}) }, bdltree.ObjectMedian},
+		{"BDL-spatial", func() bdltree.Dynamic { return bdltree.New(dim, bdltree.Options{Split: bdltree.SpatialMedian}) }, bdltree.SpatialMedian},
+	}
+}
+
+// fig11 regenerates Figure 11: throughput (points/s or queries/s) of
+// construction, 10% batch insertion, 10% batch deletion, and full k-NN on
+// 7D uniform data, as the thread count varies.
+func fig11(n int, seed uint64, threads []int) {
+	fmt.Println("=== Figure 11: BDL-tree throughput vs threads, 7D uniform ===")
+	pts := generators.UniformCube(n, 7, seed)
+	batch := n / 10
+
+	type op struct {
+		name string
+		run  func(v bdlVariant) float64 // returns ops/sec at current GOMAXPROCS
+	}
+	ops := []op{
+		{"(a) construction", func(v bdlVariant) float64 {
+			tr := v.mk()
+			t := timeIt(func() { tr.Insert(pts) })
+			return float64(n) / t
+		}},
+		{"(b) 10% batch insert", func(v bdlVariant) float64 {
+			tr := v.mk()
+			t := timeIt(func() {
+				for i := 0; i < 10; i++ {
+					tr.Insert(pts.Slice(i*batch, (i+1)*batch))
+				}
+			})
+			return float64(10*batch) / t
+		}},
+		{"(c) 10% batch delete", func(v bdlVariant) float64 {
+			tr := v.mk()
+			tr.Insert(pts)
+			t := timeIt(func() {
+				for i := 0; i < 10; i++ {
+					tr.Delete(pts.Slice(i*batch, (i+1)*batch))
+				}
+			})
+			return float64(10*batch) / t
+		}},
+		{"(d) full k-NN (k=5)", func(v bdlVariant) float64 {
+			tr := v.mk()
+			ids := tr.Insert(pts)
+			t := timeIt(func() { tr.KNN(pts, 5, ids) })
+			return float64(n) / t
+		}},
+	}
+	for _, o := range ops {
+		fmt.Printf("\n--- %s (throughput, ops/s) ---\n", o.name)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprint(w, "variant")
+		for _, p := range threads {
+			fmt.Fprintf(w, "\tP=%d", p)
+		}
+		fmt.Fprintln(w)
+		for _, v := range bdlVariants(7) {
+			fmt.Fprintf(w, "%s", v.name)
+			for _, p := range threads {
+				var thr float64
+				withThreads(p, func() { thr = o.run(v) })
+				fmt.Fprintf(w, "\t%.3g", thr)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+	fmt.Println("\nPaper shape: BDL construction beats B1/B2; B2 wins batch updates")
+	fmt.Println("(no rebalancing); B1/B2 beat BDL on one-shot k-NN (single balanced")
+	fmt.Println("tree vs log-many trees); spatial median is faster serially but")
+	fmt.Println("scales worse than object median.")
+}
+
+// fig14 regenerates Figure 14: k-NN throughput vs k after the trees are
+// built by a sequence of 5% batch insertions (Appendix D: B2 degrades
+// because its incremental tree is unbalanced).
+func fig14(n int, seed uint64) {
+	fmt.Println("=== Figure 14: k-NN throughput vs k, trees built by 5-percent batches ===")
+	sets := []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"2D-V", generators.VisualVar(n, seed)},
+		{"7D-U", generators.UniformCube(n, 7, seed+1)},
+	}
+	batch := n / 20 // 5% batches
+	for _, s := range sets {
+		fmt.Printf("\n--- %s ---\n", s.name)
+		dim := s.pts.Dim
+		variants := []bdlVariant{
+			{"B1-object", func() bdltree.Dynamic { return bdltree.NewB1(dim, bdltree.ObjectMedian) }, bdltree.ObjectMedian},
+			{"B2-object", func() bdltree.Dynamic { return bdltree.NewB2(dim, bdltree.ObjectMedian) }, bdltree.ObjectMedian},
+			{"BDL-object", func() bdltree.Dynamic { return bdltree.New(dim, bdltree.Options{Split: bdltree.ObjectMedian}) }, bdltree.ObjectMedian},
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprint(w, "variant")
+		for k := 2; k <= 11; k++ {
+			fmt.Fprintf(w, "\tk=%d", k)
+		}
+		fmt.Fprintln(w)
+		for _, v := range variants {
+			tr := v.mk()
+			var ids []int32
+			for i := 0; i*batch < s.pts.Len(); i++ {
+				hi := (i + 1) * batch
+				if hi > s.pts.Len() {
+					hi = s.pts.Len()
+				}
+				ids = append(ids, tr.Insert(s.pts.Slice(i*batch, hi))...)
+			}
+			fmt.Fprintf(w, "%s", v.name)
+			for k := 2; k <= 11; k++ {
+				pts := s.pts
+				t := timeIt(func() { tr.KNN(pts, k, ids) })
+				fmt.Fprintf(w, "\t%.3g", float64(pts.Len())/t)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+	fmt.Println("\nPaper shape: B1 best (rebuilt balanced every batch), BDL close,")
+	fmt.Println("B2 significantly worse — its incrementally grown tree is unbalanced.")
+}

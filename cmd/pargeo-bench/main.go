@@ -1,0 +1,98 @@
+// Command pargeo-bench regenerates every table and figure of the ParGeo
+// paper's evaluation (§6) on the current machine:
+//
+//	pargeo-bench -experiment table1          # Table 1: runtimes + self-relative speedups
+//	pargeo-bench -experiment fig8            # 2D convex hull across data sets
+//	pargeo-bench -experiment fig9            # 3D convex hull across data sets
+//	pargeo-bench -experiment fig10           # smallest enclosing ball across data sets
+//	pargeo-bench -experiment fig11           # BDL-tree throughput vs threads
+//	pargeo-bench -experiment fig12           # reservation overhead counters
+//	pargeo-bench -experiment fig14           # k-NN throughput vs k on incrementally built trees
+//	pargeo-bench -experiment hullstats       # §6.1 pseudohull pruning statistics
+//	pargeo-bench -experiment sebstats        # §6.2 sampling-phase statistics
+//	pargeo-bench -experiment zdcompare       # §6.3 BDL-tree vs Zd-tree
+//	pargeo-bench -experiment all
+//
+// The paper's experiments use 10M–100M points on a 36-core machine; -n
+// scales the base data-set size (default 200000) so the suite runs
+// anywhere. Shapes (which algorithm wins, crossover behavior) reproduce;
+// absolute times depend on the host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var (
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|all")
+	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
+	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
+	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
+	flagVerify     = flag.Bool("verify", false, "cross-check results between implementations where cheap")
+)
+
+func main() {
+	flag.Parse()
+	threads := parseThreads(*flagThreads)
+	fmt.Printf("pargeo-bench: n=%d, host CPUs=%d, threads=%v\n\n", *flagN, runtime.NumCPU(), threads)
+	run := func(name string, f func()) {
+		if *flagExperiment == name || *flagExperiment == "all" {
+			start := time.Now()
+			f()
+			fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+	}
+	run("table1", func() { table1(*flagN, *flagSeed) })
+	run("fig8", func() { fig8(*flagN, *flagSeed) })
+	run("fig9", func() { fig9(*flagN, *flagSeed) })
+	run("fig10", func() { fig10(*flagN, *flagSeed) })
+	run("fig11", func() { fig11(*flagN, *flagSeed, threads) })
+	run("fig12", func() { fig12(*flagN, *flagSeed) })
+	run("fig14", func() { fig14(*flagN, *flagSeed) })
+	run("hullstats", func() { hullStats(*flagN, *flagSeed) })
+	run("sebstats", func() { sebStats(*flagN, *flagSeed) })
+	run("zdcompare", func() { zdCompare(*flagN, *flagSeed) })
+}
+
+func parseThreads(s string) []int {
+	if s == "" {
+		max := runtime.NumCPU()
+		var out []int
+		for p := 1; p < max; p *= 2 {
+			out = append(out, p)
+		}
+		return append(out, max)
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// timeIt runs f once and returns elapsed seconds.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// withThreads runs f under a specific GOMAXPROCS and restores the setting.
+func withThreads(p int, f func()) float64 {
+	old := runtime.GOMAXPROCS(p)
+	defer runtime.GOMAXPROCS(old)
+	return timeIt(f)
+}
+
+func ms(sec float64) string { return fmt.Sprintf("%.1f", sec*1000) }

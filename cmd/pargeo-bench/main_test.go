@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseThreadsExplicit(t *testing.T) {
+	got := parseThreads("1, 2,8")
+	want := []int{1, 2, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseThreadsDefaultDoubling(t *testing.T) {
+	got := parseThreads("")
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("default should start at 1: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not increasing: %v", got)
+		}
+	}
+}
+
+func TestTimeItMeasures(t *testing.T) {
+	sec := timeIt(func() { time.Sleep(12 * time.Millisecond) })
+	if sec < 0.010 || sec > 1 {
+		t.Fatalf("timeIt = %v", sec)
+	}
+}
+
+func TestWithThreadsRestores(t *testing.T) {
+	withThreads(1, func() {})
+	// Smoke check: ms formatting.
+	if got := ms(0.0123); got != "12.3" {
+		t.Fatalf("ms = %q", got)
+	}
+}

@@ -1,0 +1,85 @@
+// Command pargeo-gen generates the paper's benchmark data sets and writes
+// them to disk as CSV (one point per line) so they can be fed to other
+// tools or inspected:
+//
+//	pargeo-gen -dist uniform -n 1000000 -dim 3 -o 3D-U-1M.csv
+//	pargeo-gen -dist onsphere -n 10000000 -dim 2 -seed 7 -o 2D-OS-10M.csv
+//
+// Distributions: uniform, insphere, onsphere, oncube, seedspreader,
+// visualvar (2D only), statue (3D only), dragon (3D only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/ptio"
+)
+
+func main() {
+	dist := flag.String("dist", "uniform", "distribution: uniform|insphere|onsphere|oncube|seedspreader|visualvar|statue|dragon")
+	n := flag.Int("n", 1000000, "number of points")
+	dim := flag.Int("dim", 2, "dimension (2-8)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	binary := flag.Bool("binary", false, "write the compact PGEO binary format instead of CSV")
+	flag.Parse()
+
+	var pts geom.Points
+	switch *dist {
+	case "uniform":
+		pts = generators.UniformCube(*n, *dim, *seed)
+	case "insphere":
+		pts = generators.InSphere(*n, *dim, *seed)
+	case "onsphere":
+		pts = generators.OnSphere(*n, *dim, *seed)
+	case "oncube":
+		pts = generators.OnCube(*n, *dim, *seed)
+	case "seedspreader":
+		pts = generators.SeedSpreader(*n, *dim, *seed)
+	case "visualvar":
+		if *dim != 2 {
+			fatal("visualvar is 2D only")
+		}
+		pts = generators.VisualVar(*n, *seed)
+	case "statue":
+		if *dim != 3 {
+			fatal("statue is 3D only")
+		}
+		pts = generators.Statue(*n, *seed)
+	case "dragon":
+		if *dim != 3 {
+			fatal("dragon is 3D only")
+		}
+		pts = generators.Dragon(*n, *seed)
+	default:
+		fatal("unknown distribution " + *dist)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *binary {
+		err = ptio.WriteBinary(w, pts)
+	} else {
+		err = ptio.WriteCSV(w, pts)
+	}
+	if err != nil {
+		fatal(err.Error())
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "pargeo-gen:", msg)
+	os.Exit(1)
+}

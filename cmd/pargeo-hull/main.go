@@ -1,0 +1,116 @@
+// Command pargeo-hull computes the convex hull and smallest enclosing ball
+// of a point file (CSV or the ptio binary format), demonstrating the
+// library on external data:
+//
+//	pargeo-gen -dist onsphere -n 1000000 -dim 3 -o pts.csv
+//	pargeo-hull -in pts.csv -algo dnc -o hull.csv
+//
+// For 2D inputs it writes the hull vertices in counterclockwise order; for
+// 3D inputs it writes one facet (three vertex indices) per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/hull2d"
+	"pargeo/internal/hull3d"
+	"pargeo/internal/ptio"
+	"pargeo/internal/seb"
+)
+
+func main() {
+	in := flag.String("in", "", "input points (CSV or PGEO binary; required)")
+	out := flag.String("o", "", "output file (default stdout)")
+	algo := flag.String("algo", "dnc", "hull algorithm: seq|quickhull|randinc|pseudo|dnc")
+	ball := flag.Bool("ball", true, "also report the smallest enclosing ball")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "pargeo-hull: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var pts geom.Points
+	magic := make([]byte, 4)
+	if n, _ := f.Read(magic); n == 4 && string(magic) == "PGEO" {
+		f.Seek(0, 0)
+		pts, err = ptio.ReadBinary(f)
+	} else {
+		f.Seek(0, 0)
+		pts, err = ptio.ReadCSV(f)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "read %d points in %dD\n", pts.Len(), pts.Dim)
+
+	w := os.Stdout
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	start := time.Now()
+	switch pts.Dim {
+	case 2:
+		var hull []int32
+		switch *algo {
+		case "seq":
+			hull = hull2d.SequentialQuickhull(pts)
+		case "quickhull":
+			hull = hull2d.Quickhull(pts)
+		case "randinc":
+			hull = hull2d.RandInc(pts, 1)
+		default:
+			hull = hull2d.DivideConquer(pts)
+		}
+		fmt.Fprintf(os.Stderr, "hull: %d vertices in %.1fms\n",
+			len(hull), time.Since(start).Seconds()*1000)
+		for _, v := range hull {
+			p := pts.At(int(v))
+			fmt.Fprintf(w, "%d,%g,%g\n", v, p[0], p[1])
+		}
+	case 3:
+		var facets [][3]int32
+		switch *algo {
+		case "seq":
+			facets = hull3d.SequentialQuickhull(pts)
+		case "quickhull":
+			facets = hull3d.Quickhull(pts)
+		case "randinc":
+			facets = hull3d.RandInc(pts, 1)
+		case "pseudo":
+			facets = hull3d.Pseudo(pts)
+		default:
+			facets = hull3d.DivideConquer(pts)
+		}
+		fmt.Fprintf(os.Stderr, "hull: %d facets, %d vertices in %.1fms\n",
+			len(facets), len(hull3d.Vertices(facets)), time.Since(start).Seconds()*1000)
+		for _, fc := range facets {
+			fmt.Fprintf(w, "%d,%d,%d\n", fc[0], fc[1], fc[2])
+		}
+	default:
+		fatal(fmt.Errorf("hull output supports 2D and 3D inputs; got %dD", pts.Dim))
+	}
+	if *ball {
+		start = time.Now()
+		b := seb.Sampling(pts, 1)
+		fmt.Fprintf(os.Stderr, "smallest enclosing ball: center %v radius %.6g (%.1fms)\n",
+			b.Center[:pts.Dim], math.Sqrt(b.SqRadius), time.Since(start).Seconds()*1000)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pargeo-hull:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package pargeo_test
+
+import (
+	"fmt"
+	"math"
+
+	"pargeo"
+)
+
+// Building a kd-tree and answering k-nearest-neighbor queries.
+func ExampleBuildKDTree() {
+	pts := pargeo.NewPoints(4, 2)
+	pts.Set(0, []float64{0, 0})
+	pts.Set(1, []float64{1, 0})
+	pts.Set(2, []float64{0, 2})
+	pts.Set(3, []float64{10, 10})
+	tree := pargeo.BuildKDTree(pts, pargeo.ObjectMedian)
+	nbrs := pargeo.KNN(tree, []int32{0}, 2)
+	fmt.Println(nbrs[0])
+	// Output: [1 2]
+}
+
+// Computing a 2D convex hull.
+func ExampleConvexHull2D() {
+	pts := pargeo.NewPoints(5, 2)
+	pts.Set(0, []float64{0, 0})
+	pts.Set(1, []float64{4, 0})
+	pts.Set(2, []float64{4, 4})
+	pts.Set(3, []float64{0, 4})
+	pts.Set(4, []float64{2, 2}) // interior
+	hull := pargeo.ConvexHull2D(pts, pargeo.Hull2DDivideConquer)
+	fmt.Println(len(hull))
+	// Output: 4
+}
+
+// Computing the smallest enclosing ball of a square.
+func ExampleSmallestEnclosingBall() {
+	pts := pargeo.NewPoints(4, 2)
+	pts.Set(0, []float64{0, 0})
+	pts.Set(1, []float64{2, 0})
+	pts.Set(2, []float64{0, 2})
+	pts.Set(3, []float64{2, 2})
+	ball := pargeo.SmallestEnclosingBall(pts, pargeo.SEBSampling)
+	fmt.Printf("center=(%.0f,%.0f) r=%.3f\n",
+		ball.Center[0], ball.Center[1], math.Sqrt(ball.SqRadius))
+	// Output: center=(1,1) r=1.414
+}
+
+// Batch-dynamic updates with the BDL-tree.
+func ExampleNewBDLTree() {
+	tree := pargeo.NewBDLTree(2, pargeo.BDLOptions{BufferSize: 4})
+	batch := pargeo.NewPoints(8, 2)
+	for i := 0; i < 8; i++ {
+		batch.Set(i, []float64{float64(i), float64(i % 3)})
+	}
+	tree.Insert(batch)
+	fmt.Println(tree.Size())
+	tree.Delete(batch.Slice(0, 3))
+	fmt.Println(tree.Size())
+	// Output:
+	// 8
+	// 5
+}
+
+// The Euclidean minimum spanning tree of collinear points is the path
+// along them.
+func ExampleEMST() {
+	pts := pargeo.NewPoints(4, 2)
+	for i := 0; i < 4; i++ {
+		pts.Set(i, []float64{float64(i), 0})
+	}
+	edges := pargeo.EMST(pts)
+	total := 0.0
+	for _, e := range edges {
+		total += math.Sqrt(e.SqDist)
+	}
+	fmt.Println(len(edges), total)
+	// Output: 3 3
+}
+
+// Single-linkage clustering via the EMST-based dendrogram.
+func ExampleSingleLinkage() {
+	pts := pargeo.NewPoints(6, 2)
+	// Two triplets far apart.
+	pts.Set(0, []float64{0, 0})
+	pts.Set(1, []float64{0, 1})
+	pts.Set(2, []float64{1, 0})
+	pts.Set(3, []float64{100, 0})
+	pts.Set(4, []float64{100, 1})
+	pts.Set(5, []float64{101, 0})
+	d := pargeo.SingleLinkage(pts)
+	labels := d.CutK(2)
+	fmt.Println(labels[0] == labels[1], labels[0] == labels[3])
+	// Output: true false
+}

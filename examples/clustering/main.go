@@ -1,0 +1,75 @@
+// Clustering: hierarchical clustering of a clustered point set via the
+// EMST — the paper's motivating pipeline for the WSPD/EMST modules (§2:
+// the WSPD feeds the EMST, which feeds hierarchical DBSCAN).
+//
+// The example builds the exact single-linkage dendrogram (EMST edges merged
+// in weight order), cuts it into k clusters, and contrasts it with the
+// noise-robust HDBSCAN* hierarchy over the mutual-reachability distance.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pargeo"
+)
+
+func main() {
+	const n = 50000
+	pts := pargeo.SeedSpreader(n, 2, 7)
+	fmt.Printf("clustering %d seed-spreader points\n", n)
+
+	// 1. Exact EMST via WSPD + Kruskal (parallel).
+	edges := pargeo.EMST(pts)
+	total := 0.0
+	for _, e := range edges {
+		total += math.Sqrt(e.SqDist)
+	}
+	fmt.Printf("EMST: %d edges, total weight %.1f\n", len(edges), total)
+
+	// 2. Single-linkage dendrogram and a k-cluster cut.
+	const k = 8
+	dendro := pargeo.SingleLinkage(pts)
+	labels := dendro.CutK(k)
+	sizes := map[int32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	var counts []int
+	for _, s := range sizes {
+		counts = append(counts, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	fmt.Printf("single-linkage k=%d: %d clusters, largest: %v\n",
+		k, len(sizes), counts[:min(5, len(counts))])
+
+	// 3. HDBSCAN* on a subsample (mutual reachability, minPts=8): robust
+	// to thin bridges of noise between clusters.
+	sub := pts.Slice(0, 5000)
+	hd := pargeo.HDBSCAN(sub, 8)
+	hlabels := hd.CutK(k)
+	hsizes := map[int32]bool{}
+	for _, l := range hlabels {
+		hsizes[l] = true
+	}
+	fmt.Printf("HDBSCAN* (5k subsample, minPts=8) k=%d: %d clusters\n", k, len(hsizes))
+
+	// 4. Cross-check: the shortest EMST edge is the closest pair.
+	cp := pargeo.ClosestPair(pts)
+	shortest := math.Inf(1)
+	for _, e := range edges {
+		if e.SqDist < shortest {
+			shortest = e.SqDist
+		}
+	}
+	fmt.Printf("closest pair distance %.5f == shortest EMST edge %.5f\n",
+		math.Sqrt(cp.SqDist), math.Sqrt(shortest))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+// Quickstart: generate points, build a kd-tree, run k-NN and range
+// queries, and compute a convex hull and smallest enclosing ball — the
+// five-minute tour of the library's public API.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"pargeo"
+)
+
+func main() {
+	// 1. Generate 100k uniform points in the plane (side length sqrt(n),
+	// as in the paper's benchmarks).
+	const n = 100000
+	pts := pargeo.Uniform(n, 2, 42)
+	fmt.Printf("generated %d points in %dD\n", pts.Len(), pts.Dim)
+
+	// 2. Build a parallel kd-tree and find each of the first five points'
+	// three nearest neighbors.
+	tree := pargeo.BuildKDTree(pts, pargeo.ObjectMedian)
+	neighbors := pargeo.KNN(tree, []int32{0, 1, 2, 3, 4}, 3)
+	for i, nbrs := range neighbors {
+		fmt.Printf("point %d -> nearest neighbors %v\n", i, nbrs)
+	}
+
+	// 3. Range search: count points in a box around the first point.
+	c := pts.At(0)
+	box := pargeo.Box{
+		Min: []float64{c[0] - 5, c[1] - 5},
+		Max: []float64{c[0] + 5, c[1] + 5},
+	}
+	inBox := pargeo.RangeSearch(tree, box)
+	fmt.Printf("points within +/-5 of point 0: %d\n", len(inBox))
+
+	// 4. Convex hull with the paper's fastest algorithm.
+	hull := pargeo.ConvexHull2D(pts, pargeo.Hull2DDivideConquer)
+	fmt.Printf("convex hull has %d vertices\n", len(hull))
+
+	// 5. Smallest enclosing ball with the paper's sampling algorithm.
+	ball := pargeo.SmallestEnclosingBall(pts, pargeo.SEBSampling)
+	fmt.Printf("smallest enclosing ball: center=(%.1f, %.1f) radius=%.2f\n",
+		ball.Center[0], ball.Center[1], math.Sqrt(ball.SqRadius))
+
+	// 6. Closest pair.
+	cp := pargeo.ClosestPair(pts)
+	fmt.Printf("closest pair: %d-%d at distance %.4f\n", cp.A, cp.B, math.Sqrt(cp.SqDist))
+}

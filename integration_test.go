@@ -1,0 +1,264 @@
+package pargeo
+
+// Cross-module integration tests: relations between the outputs of
+// different algorithms that must hold for any correct implementation.
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/delaunay"
+	"pargeo/internal/emst"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/graphgen"
+	"pargeo/internal/hull2d"
+	"pargeo/internal/hull3d"
+	"pargeo/internal/seb"
+)
+
+// TestHullVerticesOnSEBBoundaryRelation: the smallest enclosing ball is
+// determined by hull vertices only, so the SEB of the hull vertex subset
+// equals the SEB of the whole set.
+func TestSEBOfHullEqualsSEBOfAll(t *testing.T) {
+	pts := generators.InSphere(20000, 2, 1)
+	full := seb.Welzl(pts, 1, seb.Heuristics{MTF: true})
+	hull := hull2d.DivideConquer(pts)
+	sub := pts.Gather(hull)
+	part := seb.Welzl(sub, 2, seb.Heuristics{MTF: true})
+	if math.Abs(full.SqRadius-part.SqRadius) > 1e-9*(1+full.SqRadius) {
+		t.Fatalf("SEB(hull)=%g != SEB(all)=%g", part.SqRadius, full.SqRadius)
+	}
+}
+
+// TestEMSTSubsetOfDelaunay: in 2D, the EMST is a subgraph of the Delaunay
+// triangulation.
+func TestEMSTSubsetOfDelaunay(t *testing.T) {
+	pts := generators.UniformCube(2000, 2, 2)
+	mst := emst.Compute(pts)
+	des := delaunay.Parallel(pts, 3).Edges()
+	de := make(map[[2]int32]bool, len(des))
+	for _, e := range des {
+		de[[2]int32{e.U, e.V}] = true
+	}
+	for _, e := range mst {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if !de[[2]int32{u, v}] {
+			t.Fatalf("EMST edge (%d,%d) not a Delaunay edge", u, v)
+		}
+	}
+}
+
+// TestEMSTSubsetOfGabriel— actually the EMST is also a subgraph of the
+// Gabriel graph (EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay).
+func TestEMSTSubsetOfGabriel(t *testing.T) {
+	pts := generators.UniformCube(1500, 2, 4)
+	mst := emst.Compute(pts)
+	ga := graphgen.GabrielGraph(pts, 5)
+	gset := make(map[[2]int32]bool, len(ga))
+	for _, e := range ga {
+		gset[[2]int32{e.U, e.V}] = true
+	}
+	for _, e := range mst {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if !gset[[2]int32{u, v}] {
+			t.Fatalf("EMST edge (%d,%d) not a Gabriel edge", u, v)
+		}
+	}
+}
+
+// TestHull2DBoundaryOfDelaunay: the hull edges are exactly the Delaunay
+// edges that lie on one triangle only.
+func TestHull2DBoundaryOfDelaunay(t *testing.T) {
+	pts := generators.InSphere(1000, 2, 6)
+	hull := hull2d.MonotoneChain(pts)
+	hullEdges := map[[2]int32]bool{}
+	for i := range hull {
+		u, v := hull[i], hull[(i+1)%len(hull)]
+		if u > v {
+			u, v = v, u
+		}
+		hullEdges[[2]int32{u, v}] = true
+	}
+	tris := delaunay.Parallel(pts, 7).Triangles()
+	cnt := map[[2]int32]int{}
+	for _, tv := range tris {
+		for e := 0; e < 3; e++ {
+			u, v := tv[e], tv[(e+1)%3]
+			if u > v {
+				u, v = v, u
+			}
+			cnt[[2]int32{u, v}]++
+		}
+	}
+	boundary := map[[2]int32]bool{}
+	for k, c := range cnt {
+		if c == 1 {
+			boundary[k] = true
+		}
+	}
+	// The strict hull omits collinear boundary points, which the Delaunay
+	// boundary keeps (splitting one hull edge into several boundary edges),
+	// so boundary >= hull. Every Delaunay boundary vertex must lie on the
+	// hull polygon (not strictly inside).
+	if len(boundary) < len(hullEdges) {
+		t.Fatalf("boundary edges %d < hull edges %d", len(boundary), len(hullEdges))
+	}
+	box := geom.BoundingBoxAll(pts)
+	tol := 1e-9 * math.Sqrt(box.SqDiameter())
+	onHull := func(v int32) bool {
+		// On (or within fp-tolerance of) some hull edge, or outside it.
+		p := pts.At(int(v))
+		for i := range hull {
+			a := pts.At(int(hull[i]))
+			b := pts.At(int(hull[(i+1)%len(hull)]))
+			cross := geom.Cross2D(a, b, p)
+			edgeLen := math.Sqrt(geom.SqDist(a, b))
+			if cross <= tol*edgeLen { // signed distance to the edge line
+				return true
+			}
+		}
+		return false
+	}
+	for k := range boundary {
+		if !onHull(k[0]) || !onHull(k[1]) {
+			t.Fatalf("Delaunay boundary edge %v has an interior endpoint", k)
+		}
+	}
+	// Conversely every strict hull edge is covered: both endpoints appear
+	// among boundary-edge endpoints.
+	bverts := map[int32]bool{}
+	for k := range boundary {
+		bverts[k[0]] = true
+		bverts[k[1]] = true
+	}
+	for _, v := range hull {
+		if !bverts[v] {
+			t.Fatalf("hull vertex %d missing from Delaunay boundary", v)
+		}
+	}
+}
+
+// TestHull3DVerticesExtremeDirections: for random directions, the extreme
+// point along the direction must be a hull vertex.
+func TestHull3DVerticesExtremeDirections(t *testing.T) {
+	pts := generators.Statue(5000, 8)
+	facets := hull3d.DivideConquer(pts)
+	vs := map[int32]bool{}
+	for _, v := range hull3d.Vertices(facets) {
+		vs[v] = true
+	}
+	for trial := 0; trial < 50; trial++ {
+		d := []float64{
+			math.Sin(float64(trial)), math.Cos(float64(trial) * 1.3), math.Sin(float64(trial)*0.7 + 1),
+		}
+		best, bestDot := int32(-1), math.Inf(-1)
+		for i := 0; i < pts.Len(); i++ {
+			p := pts.At(i)
+			dot := p[0]*d[0] + p[1]*d[1] + p[2]*d[2]
+			if dot > bestDot {
+				best, bestDot = int32(i), dot
+			}
+		}
+		if !vs[best] {
+			// The extreme point could tie with a hull vertex at equal dot
+			// product; verify it lies on the hull surface instead.
+			onHull := false
+			for _, f := range facets {
+				a, b, c := pts.At(int(f[0])), pts.At(int(f[1])), pts.At(int(f[2]))
+				if math.Abs(geom.PlaneSide3(a, b, c, pts.At(int(best)))) < 1e-6 {
+					onHull = true
+					break
+				}
+			}
+			if !onHull {
+				t.Fatalf("extreme point %d along direction %d is not a hull vertex", best, trial)
+			}
+		}
+	}
+}
+
+// TestSpannerContainsEMSTWeight: a t-spanner's MST approximates the EMST
+// weight within factor t.
+func TestSpannerWeightBound(t *testing.T) {
+	pts := generators.UniformCube(500, 2, 9)
+	mstW := emst.TotalWeight(emst.Compute(pts))
+	s := 6.0
+	edges := graphgen.Spanner(pts, s)
+	// Kruskal over spanner edges.
+	type we struct {
+		u, v int32
+		w    float64
+	}
+	var ses []we
+	for _, e := range edges {
+		ses = append(ses, we{e.U, e.V, math.Sqrt(pts.SqDist(int(e.U), int(e.V)))})
+	}
+	for i := 1; i < len(ses); i++ {
+		for j := i; j > 0 && ses[j].w < ses[j-1].w; j-- {
+			ses[j], ses[j-1] = ses[j-1], ses[j]
+		}
+	}
+	parent := make([]int32, pts.Len())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	spW := 0.0
+	for _, e := range ses {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			spW += e.w
+		}
+	}
+	tBound := (s + 4) / (s - 4)
+	if spW < mstW*(1-1e-9) {
+		t.Fatalf("spanner MST %g below EMST %g (impossible)", spW, mstW)
+	}
+	if spW > mstW*tBound {
+		t.Fatalf("spanner MST %g exceeds t x EMST = %g", spW, mstW*tBound)
+	}
+}
+
+// TestGeneratorsFeedAllModules smoke-tests every generator through a
+// pipeline (hull + SEB + tree) to catch shape assumptions.
+func TestGeneratorsFeedAllModules(t *testing.T) {
+	gens := []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"uniform", generators.UniformCube(2000, 3, 1)},
+		{"insphere", generators.InSphere(2000, 3, 2)},
+		{"onsphere", generators.OnSphere(2000, 3, 3)},
+		{"oncube", generators.OnCube(2000, 3, 4)},
+		{"seedspreader", generators.SeedSpreader(2000, 3, 5)},
+		{"statue", generators.Statue(2000, 6)},
+		{"dragon", generators.Dragon(2000, 7)},
+	}
+	for _, g := range gens {
+		facets := hull3d.DivideConquer(g.pts)
+		if len(facets) < 4 {
+			t.Fatalf("%s: degenerate hull", g.name)
+		}
+		b := seb.Sampling(g.pts, 1)
+		for i := 0; i < g.pts.Len(); i++ {
+			if b.SqDistTo(g.pts.At(i)) > b.SqRadius*(1+1e-9) {
+				t.Fatalf("%s: SEB excludes point %d", g.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package bdltree
+
+import (
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/parlay"
+)
+
+// DefaultBufferSize is the default buffer-tree capacity X (§5: "the sizes
+// of all of the trees can be multiplied by a buffer size X, which is a
+// constant that is tuned for performance").
+const DefaultBufferSize = 1024
+
+// Tree is the parallel batch-dynamic BDL-tree: a buffer tree of capacity X
+// and static vEB trees with capacities X·2^i (Figure 7).
+type Tree struct {
+	dim    int
+	x      int
+	split  SplitRule
+	buffer *vebTree   // < X live points (slot -1 of the structure)
+	trees  []*vebTree // trees[i] holds up to X·2^i points (nil if empty)
+	nextID int32      // monotone global id generator
+	size   int        // total live points
+}
+
+// Options configure the BDL-tree.
+type Options struct {
+	Split      SplitRule
+	BufferSize int // X; default DefaultBufferSize
+}
+
+// New returns an empty BDL-tree for dim-dimensional points.
+func New(dim int, opts Options) *Tree {
+	if opts.BufferSize <= 0 {
+		opts.BufferSize = DefaultBufferSize
+	}
+	return &Tree{dim: dim, x: opts.BufferSize, split: opts.Split}
+}
+
+// Size returns the number of live points.
+func (t *Tree) Size() int { return t.size }
+
+// NumTrees returns the number of non-empty static trees (excluding the
+// buffer tree).
+func (t *Tree) NumTrees() int {
+	n := 0
+	for _, tr := range t.trees {
+		if tr.size() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert performs the batch insertion of Algorithm 3: combine the batch
+// with the buffer contents, move |P| mod X points into a fresh buffer tree,
+// and rebuild the static trees indicated by the bitmask difference
+// F_new = F + |P|/X, constructing all new trees in parallel.
+func (t *Tree) Insert(batch geom.Points) []int32 {
+	if batch.Dim != t.dim {
+		panic("bdltree: dimension mismatch")
+	}
+	b := batch.Len()
+	ids := make([]int32, b)
+	for i := range ids {
+		ids[i] = t.nextID
+		t.nextID++
+	}
+	t.size += b
+	// Loose points: buffer contents + batch.
+	coords := make([]float64, 0, (t.buffer.size()+b)*t.dim)
+	gids := make([]int32, 0, t.buffer.size()+b)
+	coords, gids = t.buffer.livePoints(coords, gids)
+	coords = append(coords, batch.Data...)
+	gids = append(gids, ids...)
+	t.buffer = nil
+
+	loose := len(gids)
+	newBufCount := loose % t.x
+	k := loose / t.x
+	if k == 0 {
+		t.rebuildBuffer(coords, gids, loose)
+		return ids
+	}
+	// Bitmask arithmetic: F_new = F + k.
+	f := 0
+	for i, tr := range t.trees {
+		if tr.size() > 0 {
+			f |= 1 << i
+		}
+	}
+	fnew := f + k
+	destroy := f &^ fnew
+	create := fnew &^ f
+	// Gather the points of destroyed trees plus the loose non-buffer
+	// points into one pool.
+	pool := geom.Points{Data: append([]float64(nil), coords[newBufCount*t.dim:]...), Dim: t.dim}
+	poolIDs := append([]int32(nil), gids[newBufCount:]...)
+	for i := range t.trees {
+		if destroy&(1<<i) != 0 {
+			pool.Data, poolIDs = t.trees[i].livePoints(pool.Data, poolIDs)
+			t.trees[i] = nil
+		}
+	}
+	t.rebuildBuffer(coords, gids, newBufCount)
+	// Build the created trees in parallel, filling the largest first.
+	var slots []int
+	for i := 0; (1 << i) <= create; i++ {
+		if create&(1<<i) != 0 {
+			slots = append(slots, i)
+		}
+	}
+	for len(t.trees) <= slots[len(slots)-1] {
+		t.trees = append(t.trees, nil)
+	}
+	// Assign contiguous pool ranges, largest tree first.
+	type job struct{ slot, lo, hi int }
+	jobs := make([]job, 0, len(slots))
+	offset := pool.Len()
+	for s := len(slots) - 1; s >= 0; s-- {
+		slot := slots[s]
+		cap := t.x << slot
+		lo := offset - cap
+		if lo < 0 {
+			lo = 0
+		}
+		jobs = append(jobs, job{slot, lo, offset})
+		offset = lo
+	}
+	if offset != 0 {
+		// With full source trees the pool exactly fits the created trees;
+		// partially-full trees (after deletions) can leave a remainder,
+		// which goes into the smallest created tree's slot via a direct
+		// rebuild of that slot with the extra points.
+		last := &jobs[len(jobs)-1]
+		last.lo = 0
+	}
+	parlay.For(len(jobs), 1, func(j int) {
+		jb := jobs[j]
+		if jb.lo >= jb.hi {
+			return
+		}
+		sub := geom.Points{Data: pool.Data[jb.lo*t.dim : jb.hi*t.dim], Dim: t.dim}
+		cp := geom.Points{Data: append([]float64(nil), sub.Data...), Dim: t.dim}
+		t.trees[jb.slot] = newVEBTree(cp, append([]int32(nil), poolIDs[jb.lo:jb.hi]...), t.split)
+	})
+	return ids
+}
+
+func (t *Tree) rebuildBuffer(coords []float64, gids []int32, count int) {
+	if count == 0 {
+		t.buffer = nil
+		return
+	}
+	cp := geom.Points{Data: append([]float64(nil), coords[:count*t.dim]...), Dim: t.dim}
+	t.buffer = newVEBTree(cp, append([]int32(nil), gids[:count]...), t.split)
+}
+
+// Delete performs the batch deletion of Algorithm 4: erase the batch from
+// every tree in parallel, then gather the points of any tree that fell
+// below half capacity and reinsert them.
+func (t *Tree) Delete(batch geom.Points) int {
+	if batch.Dim != t.dim {
+		panic("bdltree: dimension mismatch")
+	}
+	cand := make([]int32, batch.Len())
+	for i := range cand {
+		cand[i] = int32(i)
+	}
+	all := append([]*vebTree{t.buffer}, t.trees...)
+	removed := make([]int, len(all))
+	parlay.For(len(all), 1, func(i int) {
+		removed[i] = all[i].erase(batch, cand)
+	})
+	total := 0
+	for _, r := range removed {
+		total += r
+	}
+	t.size -= total
+	// Rebalance: trees below half capacity are emptied and reinserted.
+	var coords []float64
+	var gids []int32
+	if t.buffer.size() == 0 {
+		t.buffer = nil
+	}
+	for i, tr := range t.trees {
+		if tr == nil {
+			continue
+		}
+		if tr.size() == 0 {
+			t.trees[i] = nil
+			continue
+		}
+		if tr.size() < (t.x<<i)/2 {
+			coords, gids = tr.livePoints(coords, gids)
+			t.trees[i] = nil
+		}
+	}
+	if len(gids) > 0 {
+		t.reinsert(coords, gids)
+	}
+	return total
+}
+
+// reinsert is Insert for points that already carry global ids.
+func (t *Tree) reinsert(coords []float64, gids []int32) {
+	t.size -= len(gids) // Insert re-adds them
+	sub := geom.Points{Data: coords, Dim: t.dim}
+	newIDs := t.Insert(sub)
+	// Restore the original ids (Insert assigned fresh ones).
+	idmap := make(map[int32]int32, len(newIDs))
+	for i, nid := range newIDs {
+		idmap[nid] = gids[i]
+	}
+	t.remapIDs(idmap)
+}
+
+func (t *Tree) remapIDs(idmap map[int32]int32) {
+	all := append([]*vebTree{t.buffer}, t.trees...)
+	for _, tr := range all {
+		if tr == nil {
+			continue
+		}
+		for i, g := range tr.orig {
+			if ng, ok := idmap[g]; ok {
+				tr.orig[i] = ng
+			}
+		}
+	}
+}
+
+// KNN returns, for each query coordinate row, the global ids of its k
+// nearest live points. Data-parallel over the queries; each query reuses
+// one k-NN buffer across the buffer tree and every static tree
+// (Appendix C.4). exclude[i] (optional) is a global id skipped for query i.
+func (t *Tree) KNN(queries geom.Points, k int, exclude []int32) [][]int32 {
+	n := queries.Len()
+	out := make([][]int32, n)
+	all := append([]*vebTree{t.buffer}, t.trees...)
+	parlay.ForBlocked(n, 32, func(lo, hi int) {
+		buf := kdtree.NewKNNBuffer(k)
+		for i := lo; i < hi; i++ {
+			buf.Reset()
+			ex := int32(-1)
+			if exclude != nil {
+				ex = exclude[i]
+			}
+			q := queries.At(i)
+			for _, tr := range all {
+				tr.knnInto(q, ex, buf)
+			}
+			out[i] = buf.Result(nil)
+		}
+	})
+	return out
+}
+
+// Points returns the coordinates and global ids of all live points (test /
+// verification helper).
+func (t *Tree) Points() (geom.Points, []int32) {
+	var coords []float64
+	var gids []int32
+	coords, gids = t.buffer.livePoints(coords, gids)
+	for _, tr := range t.trees {
+		coords, gids = tr.livePoints(coords, gids)
+	}
+	return geom.Points{Data: coords, Dim: t.dim}, gids
+}
+
+// TreeSizes returns the live sizes [buffer, tree0, tree1, ...] for
+// structural tests (Figure 7's configurations).
+func (t *Tree) TreeSizes() []int {
+	out := []int{t.buffer.size()}
+	for _, tr := range t.trees {
+		out = append(out, tr.size())
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package bdltree
+
+import (
+	"fmt"
+	"testing"
+
+	"pargeo/internal/generators"
+)
+
+func BenchmarkConstruction(b *testing.B) {
+	pts := generators.UniformCube(100000, 5, 1)
+	variants := []struct {
+		name string
+		mk   func() Dynamic
+	}{
+		{"BDL", func() Dynamic { return New(5, Options{}) }},
+		{"B1", func() Dynamic { return NewB1(5, ObjectMedian) }},
+		{"B2", func() Dynamic { return NewB2(5, ObjectMedian) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := v.mk()
+				tr.Insert(pts)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchInsert(b *testing.B) {
+	pts := generators.UniformCube(100000, 5, 2)
+	batch := pts.Len() / 10
+	for _, x := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("BDL/X=%d", x), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := New(5, Options{BufferSize: x})
+				for j := 0; j < 10; j++ {
+					tr.Insert(pts.Slice(j*batch, (j+1)*batch))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKNNOverTrees(b *testing.B) {
+	// k-NN cost vs the number of live static trees: insert in batch
+	// patterns that leave 1 vs many trees.
+	pts := generators.UniformCube(60000, 3, 3)
+	b.Run("one-tree", func(b *testing.B) {
+		tr := New(3, Options{BufferSize: 1024})
+		ids := tr.Insert(pts.Slice(0, 1<<15)) // 32768 = one tree exactly... roughly
+		q := pts.Slice(0, 5000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.KNN(q, 5, ids[:5000])
+		}
+	})
+	b.Run("many-trees", func(b *testing.B) {
+		tr := New(3, Options{BufferSize: 1024})
+		var ids []int32
+		for j := 0; j*6000 < (1 << 15); j++ {
+			lo := j * 6000
+			hi := lo + 6000
+			if hi > 1<<15 {
+				hi = 1 << 15
+			}
+			ids = append(ids, tr.Insert(pts.Slice(lo, hi))...)
+		}
+		q := pts.Slice(0, 5000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.KNN(q, 5, ids[:5000])
+		}
+	})
+}
+
+func BenchmarkVEBBuild(b *testing.B) {
+	pts := generators.UniformCube(100000, 3, 4)
+	ids := make([]int32, pts.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := pts.Gather(ids)
+		newVEBTree(cp, ids, ObjectMedian)
+	}
+}

@@ -1,0 +1,74 @@
+package bdltree
+
+import (
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// rangeRec collects live points inside box from the subtree at heap h.
+func (t *vebTree) rangeRec(h, depth int, box geom.Box, out *[]int32, table []int32) {
+	nd := &t.nodes[table[h]]
+	if nd.lo >= nd.hi {
+		return
+	}
+	dim := t.pts.Dim
+	disjoint := false
+	inside := true
+	for c := 0; c < dim; c++ {
+		if nd.maxC[c] < box.Min[c] || nd.minC[c] > box.Max[c] {
+			disjoint = true
+			break
+		}
+		if nd.minC[c] < box.Min[c] || nd.maxC[c] > box.Max[c] {
+			inside = false
+		}
+	}
+	if disjoint {
+		return
+	}
+	if inside || depth == t.levels {
+		for i := nd.lo; i < nd.hi; i++ {
+			li := t.idx[i]
+			if t.dead[li] {
+				continue
+			}
+			if inside || box.Contains(t.pts.At(int(li))) {
+				*out = append(*out, t.orig[li])
+			}
+		}
+		return
+	}
+	t.rangeRec(2*h, depth+1, box, out, table)
+	t.rangeRec(2*h+1, depth+1, box, out, table)
+}
+
+// rangeSearch returns the global ids of live points inside the closed box.
+func (t *vebTree) rangeSearch(box geom.Box) []int32 {
+	if t == nil || t.live == 0 {
+		return nil
+	}
+	var out []int32
+	t.rangeRec(1, 1, box, &out, vebTable(t.levels))
+	return out
+}
+
+// RangeSearch returns the global ids of all live points inside the closed
+// box, querying the buffer tree and every static tree (in parallel across
+// trees for large structures).
+func (t *Tree) RangeSearch(box geom.Box) []int32 {
+	all := append([]*vebTree{t.buffer}, t.trees...)
+	results := make([][]int32, len(all))
+	parlay.For(len(all), 1, func(i int) {
+		results[i] = all[i].rangeSearch(box)
+	})
+	var out []int32
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// RangeCount returns the number of live points inside the closed box.
+func (t *Tree) RangeCount(box geom.Box) int {
+	return len(t.RangeSearch(box))
+}

@@ -1,0 +1,83 @@
+package bdltree
+
+import (
+	"sort"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func TestBDLRangeSearchMatchesBrute(t *testing.T) {
+	pts := generators.UniformCube(3000, 3, 21)
+	tr := New(3, Options{BufferSize: 128})
+	ids := tr.Insert(pts)
+	for trial := 0; trial < 15; trial++ {
+		c := pts.At(trial * 200)
+		w := 3 + float64(trial)
+		box := geom.EmptyBox(3)
+		box.Expand([]float64{c[0] - w, c[1] - w, c[2] - w})
+		box.Expand([]float64{c[0] + w, c[1] + w, c[2] + w})
+		got := tr.RangeSearch(box)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		var want []int32
+		for i := 0; i < pts.Len(); i++ {
+			if box.Contains(pts.At(i)) {
+				want = append(want, ids[i])
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+		if tr.RangeCount(box) != len(want) {
+			t.Fatalf("trial %d: count mismatch", trial)
+		}
+	}
+}
+
+func TestBDLRangeRespectsDeletes(t *testing.T) {
+	pts := generators.UniformCube(1000, 2, 22)
+	tr := New(2, Options{BufferSize: 64})
+	ids := tr.Insert(pts)
+	tr.Delete(pts.Slice(0, 500))
+	box := geom.BoundingBoxAll(pts) // everything
+	got := tr.RangeSearch(box)
+	if len(got) != 500 {
+		t.Fatalf("range after delete returned %d, want 500", len(got))
+	}
+	deleted := map[int32]bool{}
+	for _, id := range ids[:500] {
+		deleted[id] = true
+	}
+	for _, id := range got {
+		if deleted[id] {
+			t.Fatalf("deleted id %d returned", id)
+		}
+	}
+}
+
+func TestBDLRangeAcrossBatches(t *testing.T) {
+	pts := generators.UniformCube(1000, 2, 23)
+	tr := New(2, Options{BufferSize: 64})
+	// Insert in 10 batches so points are spread across several trees and
+	// the buffer.
+	for b := 0; b < 10; b++ {
+		tr.Insert(pts.Slice(b*100, (b+1)*100))
+	}
+	box := geom.BoundingBoxAll(pts)
+	if got := tr.RangeSearch(box); len(got) != 1000 {
+		t.Fatalf("full-box range returned %d", len(got))
+	}
+	empty := geom.EmptyBox(2)
+	empty.Expand([]float64{-100, -100})
+	empty.Expand([]float64{-99, -99})
+	if got := tr.RangeSearch(empty); len(got) != 0 {
+		t.Fatalf("empty-box range returned %d", len(got))
+	}
+}

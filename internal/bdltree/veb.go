@@ -1,0 +1,369 @@
+// Package bdltree implements the BDL-tree (§5, Appendix C): a parallel
+// batch-dynamic kd-tree built with the logarithmic method. A BDL-tree is a
+// buffer tree of capacity X plus a set of static trees with capacities
+// X·2^i; batch insertions rebuild the smallest prefix of trees needed
+// (bitmask arithmetic, Algorithm 3), batch deletions erase in parallel from
+// every tree and reinsert the contents of any tree that falls below half
+// capacity (Algorithm 4), and k-NN queries run data-parallel across query
+// points, sharing one k-NN buffer per query across all the trees
+// (Appendix C.4).
+//
+// The static trees are laid out in the cache-oblivious van Emde Boas order
+// (Appendix C.1.1, Algorithm 1): the array slot of every node is assigned
+// by the recursive top-half/bottom-half decomposition, so any root-to-leaf
+// traversal touches O(log_B n) cache blocks for every block size B.
+// Navigation uses heap indices (children 2h, 2h+1) translated through the
+// memoized vEB position table.
+//
+// The package also provides the two baselines the paper evaluates against
+// (§6.3): B1, which rebuilds one static tree on every update, and B2, which
+// inserts into leaf buffers in place and tombstones deletions.
+package bdltree
+
+import (
+	"math"
+	"sync"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/parlay"
+)
+
+var inf = math.Inf(1)
+
+// SplitRule mirrors kdtree.SplitRule for the two median heuristics.
+type SplitRule = kdtree.SplitRule
+
+const (
+	// ObjectMedian splits at the median point (balanced trees).
+	ObjectMedian = kdtree.ObjectMedian
+	// SpatialMedian splits at the box midpoint (cheaper, can skew).
+	SpatialMedian = kdtree.SpatialMedian
+)
+
+// vebOrder returns the vEB slot of every heap index for a complete binary
+// tree with l levels: slot[heap] for heap in [1, 2^l). The table follows
+// Algorithm 1's recursion: a tree of l levels is the top lt = l - ⌈⌈(l+1)/2⌉⌉
+// levels laid out first, followed by its 2^lt bottom subtrees of
+// lb = ⌈⌈(l+1)/2⌉⌉ levels each, consecutively.
+func vebOrder(l int) []int32 {
+	table := make([]int32, 1<<l)
+	next := int32(0)
+	var rec func(root int, levels int)
+	rec = func(root, levels int) {
+		if levels == 1 {
+			table[root] = next
+			next++
+			return
+		}
+		lb := hyperceiling((levels + 1) / 2)
+		lt := levels - lb
+		rec(root, lt) // top half, itself recursively in vEB order
+		// Bottom subtree roots are the descendants of root at depth lt.
+		first := root << lt
+		for j := 0; j < 1<<lt; j++ {
+			rec(first+j, lb)
+		}
+	}
+	rec(1, l)
+	return table
+}
+
+// hyperceiling returns the smallest power of two >= n.
+func hyperceiling(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+var vebMemo sync.Map // levels -> []int32
+
+func vebTable(l int) []int32 {
+	if v, ok := vebMemo.Load(l); ok {
+		return v.([]int32)
+	}
+	t := vebOrder(l)
+	vebMemo.Store(l, t)
+	return t
+}
+
+// vnode is one static-tree node stored at its vEB slot.
+type vnode struct {
+	minC, maxC [kdtree.MaxDim]float64
+	splitVal   float64
+	lo, hi     int32 // subtree's range in the tree's index permutation
+	splitDim   int8
+}
+
+// vebTree is one static kd-tree of the BDL structure: a local copy of its
+// points, their original (global) ids, tombstones, and the vEB-ordered node
+// array.
+type vebTree struct {
+	pts    geom.Points
+	orig   []int32 // global ids, parallel to pts
+	idx    []int32 // permutation of local indices; node ranges index this
+	nodes  []vnode
+	levels int
+	dead   []bool // local tombstones (BDL erases lazily; rebalance compacts)
+	live   int
+	split  SplitRule
+	leaf   int
+}
+
+// vebLeafSize is the per-leaf point capacity ("a small constant number of
+// points", Bentley).
+const vebLeafSize = 16
+
+// newVEBTree builds a static tree over the given points (a copy is taken
+// via Gather by the caller). Parallel construction per Algorithm 1: the top
+// half of each recursive level is laid out before the bottom subtrees,
+// which build in parallel.
+func newVEBTree(pts geom.Points, orig []int32, split SplitRule) *vebTree {
+	n := pts.Len()
+	if n == 0 {
+		return nil
+	}
+	numLeaves := hyperceiling((n + vebLeafSize - 1) / vebLeafSize)
+	levels := 1
+	for 1<<(levels-1) < numLeaves {
+		levels++
+	}
+	t := &vebTree{
+		pts:    pts,
+		orig:   orig,
+		idx:    make([]int32, n),
+		nodes:  make([]vnode, 1<<levels-1),
+		levels: levels,
+		dead:   make([]bool, n),
+		live:   n,
+		split:  split,
+		leaf:   vebLeafSize,
+	}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	table := vebTable(levels)
+	t.build(1, 1, 0, int32(n), table)
+	return t
+}
+
+// build constructs the subtree at heap index h (depth levels counted from
+// 1) over idx[lo:hi].
+func (t *vebTree) build(h, depth int, lo, hi int32, table []int32) {
+	nd := &t.nodes[table[h]]
+	nd.lo, nd.hi = lo, hi
+	dim := t.pts.Dim
+	for c := 0; c < dim; c++ {
+		nd.minC[c], nd.maxC[c] = inf, -inf
+	}
+	for i := lo; i < hi; i++ {
+		p := t.pts.At(int(t.idx[i]))
+		for c := 0; c < dim; c++ {
+			if p[c] < nd.minC[c] {
+				nd.minC[c] = p[c]
+			}
+			if p[c] > nd.maxC[c] {
+				nd.maxC[c] = p[c]
+			}
+		}
+	}
+	if depth == t.levels { // leaf
+		return
+	}
+	n := hi - lo
+	var mid int32
+	if n == 0 {
+		mid = lo
+		nd.splitDim = 0
+		nd.splitVal = 0
+	} else {
+		c := 0
+		bw := nd.maxC[0] - nd.minC[0]
+		for d := 1; d < dim; d++ {
+			if w := nd.maxC[d] - nd.minC[d]; w > bw {
+				c, bw = d, w
+			}
+		}
+		switch t.split {
+		case SpatialMedian:
+			val := (nd.minC[c] + nd.maxC[c]) / 2
+			mid = lo + int32(kdtree.PartitionVal(t.pts, t.idx[lo:hi], c, val))
+			if mid == lo || mid == hi {
+				mid = lo + n/2
+				kdtree.NthElement(t.pts, t.idx[lo:hi], int(n/2), c)
+			}
+			nd.splitVal = val
+		default:
+			mid = lo + n/2
+			kdtree.NthElement(t.pts, t.idx[lo:hi], int(n/2), c)
+			nd.splitVal = t.pts.Coord(int(t.idx[mid]), c)
+		}
+		nd.splitDim = int8(c)
+	}
+	if n > 8192 {
+		parlay.Do(
+			func() { t.build(2*h, depth+1, lo, mid, table) },
+			func() { t.build(2*h+1, depth+1, mid, hi, table) },
+		)
+	} else {
+		t.build(2*h, depth+1, lo, mid, table)
+		t.build(2*h+1, depth+1, mid, hi, table)
+	}
+}
+
+// knnInto adds this tree's neighbors of query q into buf (the shared-buffer
+// protocol of Appendix C.4). exclude is a global id to skip (-1 none).
+func (t *vebTree) knnInto(q []float64, exclude int32, buf *kdtree.KNNBuffer) {
+	if t == nil || t.live == 0 {
+		return
+	}
+	table := vebTable(t.levels)
+	t.knnRec(1, 1, q, exclude, buf, table)
+}
+
+func (t *vebTree) knnRec(h, depth int, q []float64, exclude int32, buf *kdtree.KNNBuffer, table []int32) {
+	nd := &t.nodes[table[h]]
+	if nd.lo >= nd.hi {
+		return
+	}
+	if depth == t.levels {
+		for i := nd.lo; i < nd.hi; i++ {
+			li := t.idx[i]
+			if t.dead[li] {
+				continue
+			}
+			g := t.orig[li]
+			if g == exclude {
+				continue
+			}
+			buf.Insert(g, geom.SqDist(q, t.pts.At(int(li))))
+		}
+		return
+	}
+	near, far := 2*h, 2*h+1
+	if q[nd.splitDim] >= nd.splitVal {
+		near, far = far, near
+	}
+	t.knnRec(near, depth+1, q, exclude, buf, table)
+	fn := &t.nodes[table[far]]
+	if fn.lo < fn.hi && (!buf.Full() || t.boxSqDist(fn, q) < buf.Bound()) {
+		t.knnRec(far, depth+1, q, exclude, buf, table)
+	}
+}
+
+func (t *vebTree) boxSqDist(nd *vnode, q []float64) float64 {
+	s := 0.0
+	for c := 0; c < t.pts.Dim; c++ {
+		if v := q[c]; v < nd.minC[c] {
+			d := nd.minC[c] - v
+			s += d * d
+		} else if v > nd.maxC[c] {
+			d := v - nd.maxC[c]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// erase tombstones every live point whose coordinates exactly match a batch
+// point, descending only into subtrees whose boxes contain candidates
+// (Algorithm 2's structure, with lazy leaf removal). Returns the number of
+// points newly tombstoned.
+func (t *vebTree) erase(batch geom.Points, cand []int32) int {
+	if t == nil || t.live == 0 || len(cand) == 0 {
+		return 0
+	}
+	table := vebTable(t.levels)
+	removed := t.eraseRec(1, 1, batch, cand, table)
+	t.live -= removed
+	return removed
+}
+
+func (t *vebTree) eraseRec(h, depth int, batch geom.Points, cand []int32, table []int32) int {
+	nd := &t.nodes[table[h]]
+	if nd.lo >= nd.hi {
+		return 0
+	}
+	// Keep only candidates inside this node's box.
+	dim := t.pts.Dim
+	kept := cand[:0:0]
+	for _, ci := range cand {
+		p := batch.At(int(ci))
+		in := true
+		for c := 0; c < dim; c++ {
+			if p[c] < nd.minC[c] || p[c] > nd.maxC[c] {
+				in = false
+				break
+			}
+		}
+		if in {
+			kept = append(kept, ci)
+		}
+	}
+	if len(kept) == 0 {
+		return 0
+	}
+	if depth == t.levels {
+		removed := 0
+		for i := nd.lo; i < nd.hi; i++ {
+			li := t.idx[i]
+			if t.dead[li] {
+				continue
+			}
+			pc := t.pts.At(int(li))
+			for _, ci := range kept {
+				if coordsEqual(pc, batch.At(int(ci))) {
+					t.dead[li] = true
+					removed++
+					break
+				}
+			}
+		}
+		return removed
+	}
+	if len(kept) > 2048 {
+		var a, b int
+		parlay.Do(
+			func() { a = t.eraseRec(2*h, depth+1, batch, kept, table) },
+			func() { b = t.eraseRec(2*h+1, depth+1, batch, kept, table) },
+		)
+		return a + b
+	}
+	return t.eraseRec(2*h, depth+1, batch, kept, table) +
+		t.eraseRec(2*h+1, depth+1, batch, kept, table)
+}
+
+func coordsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// livePoints appends the coordinates and global ids of all live points.
+func (t *vebTree) livePoints(coords []float64, ids []int32) ([]float64, []int32) {
+	if t == nil {
+		return coords, ids
+	}
+	dim := t.pts.Dim
+	for li := 0; li < t.pts.Len(); li++ {
+		if !t.dead[li] {
+			coords = append(coords, t.pts.At(li)...)
+			ids = append(ids, t.orig[li])
+		}
+	}
+	_ = dim
+	return coords, ids
+}
+
+// size returns the live point count.
+func (t *vebTree) size() int {
+	if t == nil {
+		return 0
+	}
+	return t.live
+}

@@ -1,0 +1,86 @@
+package closestpair
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+)
+
+func TestClosestPairMatchesBruteForce(t *testing.T) {
+	for _, dim := range []int{2, 3, 5} {
+		for _, n := range []int{2, 10, 100, 500} {
+			pts := generators.UniformCube(n, dim, uint64(n+dim))
+			got := ClosestPair(pts)
+			want := BruteForce(pts)
+			if math.Abs(got.SqDist-want.SqDist) > 1e-12*(1+want.SqDist) {
+				t.Fatalf("dim=%d n=%d: %v vs brute %v", dim, n, got, want)
+			}
+		}
+	}
+}
+
+func TestClosestPairLarge(t *testing.T) {
+	pts := generators.UniformCube(50000, 2, 77)
+	got := ClosestPair(pts)
+	if got.A < 0 || got.B < 0 || got.A == got.B {
+		t.Fatalf("bad pair %v", got)
+	}
+	if d := pts.SqDist(int(got.A), int(got.B)); d != got.SqDist {
+		t.Fatalf("distance mismatch: %v vs %v", d, got.SqDist)
+	}
+}
+
+func TestClosestPairDuplicates(t *testing.T) {
+	pts := geom.Points{Dim: 2, Data: []float64{0, 0, 5, 5, 0, 0, 9, 9}}
+	got := ClosestPair(pts)
+	if got.SqDist != 0 {
+		t.Fatalf("duplicate pair distance %v", got.SqDist)
+	}
+}
+
+func TestBCCPMatchesBruteForce(t *testing.T) {
+	red := generators.UniformCube(300, 3, 1)
+	blue := generators.UniformCube(400, 3, 2)
+	got := Bichromatic(red, blue)
+	want := Result{-1, -1, math.Inf(1)}
+	for i := 0; i < red.Len(); i++ {
+		for j := 0; j < blue.Len(); j++ {
+			if d := geom.SqDist(red.At(i), blue.At(j)); d < want.SqDist {
+				want = Result{int32(i), int32(j), d}
+			}
+		}
+	}
+	if math.Abs(got.SqDist-want.SqDist) > 1e-12*(1+want.SqDist) {
+		t.Fatalf("BCCP %v vs brute %v", got, want)
+	}
+}
+
+func TestBCCPNodesSeeded(t *testing.T) {
+	red := generators.UniformCube(100, 2, 3)
+	blue := generators.UniformCube(100, 2, 4)
+	ta := kdtree.Build(red, kdtree.Options{})
+	tb := kdtree.Build(blue, kdtree.Options{})
+	full := BCCP(ta, tb)
+	// Seeding with the answer cannot be improved.
+	same := BCCPNodes(ta, tb, ta.Root, tb.Root, full)
+	if same.SqDist != full.SqDist {
+		t.Fatalf("seeded BCCP changed: %v vs %v", same, full)
+	}
+	// Seeding with 0 must return the seed (nothing is closer).
+	zero := BCCPNodes(ta, tb, ta.Root, tb.Root, Result{A: -1, B: -1, SqDist: 0})
+	if zero.SqDist != 0 {
+		t.Fatalf("zero-seeded BCCP: %v", zero)
+	}
+}
+
+func TestClosestPairTiny(t *testing.T) {
+	if r := ClosestPair(geom.NewPoints(0, 2)); r.A != -1 {
+		t.Fatal("empty should be -1")
+	}
+	if r := ClosestPair(geom.Points{Dim: 2, Data: []float64{1, 1}}); r.A != -1 {
+		t.Fatal("single point should be -1")
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// twoBlobs builds two well-separated Gaussian-ish blobs.
+func twoBlobs(n int, gap float64, seed uint64) geom.Points {
+	half := n / 2
+	pts := geom.NewPoints(n, 2)
+	a := generators.InSphere(half, 2, seed)
+	b := generators.InSphere(n-half, 2, seed+1)
+	for i := 0; i < half; i++ {
+		p := a.At(i)
+		pts.Set(i, []float64{p[0] / 100, p[1] / 100})
+	}
+	for i := 0; i < n-half; i++ {
+		p := b.At(i)
+		pts.Set(half+i, []float64{p[0]/100 + gap, p[1] / 100})
+	}
+	return pts
+}
+
+func TestSingleLinkageDendrogramShape(t *testing.T) {
+	pts := generators.UniformCube(500, 2, 1)
+	d := SingleLinkage(pts)
+	if len(d.Height) != 499 {
+		t.Fatalf("%d merges for 500 points", len(d.Height))
+	}
+	for i := 1; i < len(d.Height); i++ {
+		if d.Height[i] < d.Height[i-1] {
+			t.Fatalf("heights not sorted at %d", i)
+		}
+	}
+}
+
+func TestTwoBlobsSeparate(t *testing.T) {
+	pts := twoBlobs(400, 50, 2)
+	d := SingleLinkage(pts)
+	labels := d.CutK(2)
+	// All of blob 1 must share a label, all of blob 2 another.
+	l0 := labels[0]
+	for i := 1; i < 200; i++ {
+		if labels[i] != l0 {
+			t.Fatalf("blob 1 split at %d", i)
+		}
+	}
+	l1 := labels[200]
+	if l1 == l0 {
+		t.Fatal("blobs merged")
+	}
+	for i := 201; i < 400; i++ {
+		if labels[i] != l1 {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+	// The top merge height is ~ the gap.
+	top := d.Height[len(d.Height)-1]
+	if top < 25 || top > 55 {
+		t.Fatalf("top merge height %g, expected ~gap 50", top)
+	}
+}
+
+func TestCutThresholdMonotone(t *testing.T) {
+	pts := generators.SeedSpreader(1000, 2, 3)
+	d := SingleLinkage(pts)
+	prev := d.N + 1
+	for _, thr := range []float64{0.001, 0.01, 0.1, 1, 10, 1e6} {
+		c := d.NumClusters(thr)
+		if c > prev {
+			t.Fatalf("cluster count not monotone at threshold %g", thr)
+		}
+		prev = c
+		labels := d.Cut(thr)
+		distinct := map[int32]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != c {
+			t.Fatalf("labels disagree with NumClusters: %d vs %d", len(distinct), c)
+		}
+	}
+	if d.NumClusters(1e6) != 1 {
+		t.Fatal("everything should merge at huge threshold")
+	}
+}
+
+func TestCutKExactCounts(t *testing.T) {
+	pts := generators.UniformCube(300, 2, 4)
+	d := SingleLinkage(pts)
+	for _, k := range []int{1, 2, 5, 17, 300} {
+		labels := d.CutK(k)
+		distinct := map[int32]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if len(distinct) != k {
+			t.Fatalf("CutK(%d) produced %d clusters", k, len(distinct))
+		}
+	}
+}
+
+func TestCoreDistances(t *testing.T) {
+	pts := generators.UniformCube(500, 2, 5)
+	core := CoreDistances(pts, 4)
+	// Verify against brute force for a few points.
+	for _, i := range []int{0, 100, 499} {
+		var ds []float64
+		for j := 0; j < 500; j++ {
+			if j != i {
+				ds = append(ds, math.Sqrt(pts.SqDist(i, j)))
+			}
+		}
+		// 4th smallest
+		for a := 0; a < 4; a++ {
+			min := a
+			for b := a + 1; b < len(ds); b++ {
+				if ds[b] < ds[min] {
+					min = b
+				}
+			}
+			ds[a], ds[min] = ds[min], ds[a]
+		}
+		if math.Abs(core[i]-ds[3]) > 1e-9*(1+ds[3]) {
+			t.Fatalf("core distance of %d: %g want %g", i, core[i], ds[3])
+		}
+	}
+}
+
+func TestHDBSCANHierarchy(t *testing.T) {
+	pts := twoBlobs(300, 40, 6)
+	d := HDBSCAN(pts, 5)
+	if len(d.Height) != 299 {
+		t.Fatalf("%d merges", len(d.Height))
+	}
+	labels := d.CutK(2)
+	l0 := labels[0]
+	for i := 1; i < 150; i++ {
+		if labels[i] != l0 {
+			t.Fatalf("hdbscan split blob 1 at %d", i)
+		}
+	}
+	if labels[150] == l0 {
+		t.Fatal("hdbscan merged the blobs at k=2")
+	}
+	// Mutual reachability heights dominate Euclidean single-linkage
+	// heights (d_mr >= d).
+	sl := SingleLinkage(pts)
+	if d.Height[0] < sl.Height[0]-1e-12 {
+		t.Fatalf("first HDBSCAN merge (%g) below single-linkage (%g)", d.Height[0], sl.Height[0])
+	}
+}
+
+func TestHDBSCANNoiseRobustness(t *testing.T) {
+	// Single-linkage chains through a bridge of noise points; HDBSCAN with
+	// minPts resists it. Build two blobs connected by a thin bridge.
+	pts := twoBlobs(300, 10, 7)
+	n := pts.Len()
+	bridge := 8
+	all := geom.NewPoints(n+bridge, 2)
+	copy(all.Data, pts.Data)
+	for i := 0; i < bridge; i++ {
+		all.Set(n+i, []float64{0.3 + 9.4*float64(i+1)/float64(bridge+1), 0})
+	}
+	slTop := SingleLinkage(all).Height
+	hdTop := HDBSCAN(all, 10).Height
+	// The largest HDBSCAN merge must be substantially higher than the
+	// largest single-linkage merge: the bridge points have large core
+	// distances under minPts=10 and cannot chain the blobs cheaply.
+	if hdTop[len(hdTop)-1] <= slTop[len(slTop)-1]*1.2 {
+		t.Fatalf("bridge defeated HDBSCAN: sl top %g, hdbscan top %g",
+			slTop[len(slTop)-1], hdTop[len(hdTop)-1])
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if d := HDBSCAN(geom.NewPoints(0, 2), 3); d.N != 0 {
+		t.Fatal("empty HDBSCAN")
+	}
+	one := geom.Points{Dim: 2, Data: []float64{1, 1}}
+	d := SingleLinkage(one)
+	if len(d.Height) != 0 {
+		t.Fatal("single point should have no merges")
+	}
+	if l := d.CutK(1); len(l) != 1 || l[0] != 0 {
+		t.Fatalf("single point labels %v", l)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pargeo/internal/parlay"
+)
+
+func TestReserveLowestPriorityWins(t *testing.T) {
+	r := NewReservations(1)
+	parlay.For(1000, 1, func(i int) {
+		r.Reserve(0, int64(1000-i))
+	})
+	if !r.Holds(0, 1) {
+		t.Fatal("priority 1 should hold the slot")
+	}
+	if r.Holds(0, 2) {
+		t.Fatal("priority 2 should not hold")
+	}
+	r.Release(0)
+	if r.Holds(0, 1) {
+		t.Fatal("released slot still held")
+	}
+}
+
+func TestGrowPreservesAndExtends(t *testing.T) {
+	r := NewReservations(2)
+	r.Reserve(0, 5)
+	r.Grow(10)
+	if r.Len() != 10 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if !r.Holds(0, 5) {
+		t.Fatal("grow lost a reservation")
+	}
+	// New slots are unreserved: any priority can take them.
+	r.Reserve(9, 123)
+	if !r.Holds(9, 123) {
+		t.Fatal("new slot not claimable")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	r := NewReservations(100)
+	for i := 0; i < 100; i++ {
+		r.Reserve(i, int64(i))
+	}
+	r.ReleaseAll()
+	for i := 0; i < 100; i++ {
+		if r.Holds(i, int64(i)) {
+			t.Fatalf("slot %d still held", i)
+		}
+	}
+}
+
+func TestReservationRoundInvariant(t *testing.T) {
+	// Simulated round: m points each reserve a random subset of slots; the
+	// globally smallest priority must always succeed, and two successful
+	// points never share a slot.
+	const slots = 64
+	const m = 200
+	r := NewReservations(slots)
+	sets := make([][]int, m)
+	for i := range sets {
+		a := (i * 13) % slots
+		b := (i * 29) % slots
+		sets[i] = []int{a, b, (a + b) % slots}
+	}
+	parlay.For(m, 1, func(i int) {
+		for _, s := range sets[i] {
+			r.Reserve(s, int64(i))
+		}
+	})
+	success := make([]bool, m)
+	parlay.For(m, 1, func(i int) {
+		ok := true
+		for _, s := range sets[i] {
+			if !r.Holds(s, int64(i)) {
+				ok = false
+				break
+			}
+		}
+		success[i] = ok
+	})
+	if !success[0] {
+		t.Fatal("smallest priority lost a reservation")
+	}
+	owner := map[int]int{}
+	var mu sync.Mutex
+	for i := 0; i < m; i++ {
+		if !success[i] {
+			continue
+		}
+		mu.Lock()
+		for _, s := range sets[i] {
+			if prev, ok := owner[s]; ok && prev != i {
+				t.Fatalf("slot %d claimed by %d and %d", s, prev, i)
+			}
+			owner[s] = i
+		}
+		mu.Unlock()
+	}
+}
+
+func TestStatsNilSafe(t *testing.T) {
+	var s *Stats
+	s.AddPoints(5) // must not panic
+	s.AddFacets(1)
+	s.AddRound()
+	s.AddSuccess()
+	s.AddFailure()
+	s.AddReservations(2)
+	s.AddAlloc(1)
+	s.AddKilled(1)
+}
+
+func TestBatchSize(t *testing.T) {
+	if BatchSize(8) < 8 {
+		t.Fatal("batch too small")
+	}
+	if BatchSize(0) != BatchSize(8) {
+		t.Fatal("default c should be 8")
+	}
+}

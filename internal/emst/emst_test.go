@@ -1,0 +1,85 @@
+package emst
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/unionfind"
+)
+
+func TestEMSTMatchesPrim(t *testing.T) {
+	for _, dim := range []int{2, 3, 5} {
+		for _, n := range []int{2, 5, 50, 300} {
+			pts := generators.UniformCube(n, dim, uint64(n*dim))
+			got := Compute(pts)
+			want := Prim(pts)
+			if len(got) != n-1 || len(want) != n-1 {
+				t.Fatalf("dim=%d n=%d: edge counts %d / %d", dim, n, len(got), len(want))
+			}
+			gw, ww := TotalWeight(got), TotalWeight(want)
+			if math.Abs(gw-ww) > 1e-9*(1+ww) {
+				t.Fatalf("dim=%d n=%d: weight %.12g, Prim %.12g", dim, n, gw, ww)
+			}
+		}
+	}
+}
+
+func TestEMSTIsSpanningTree(t *testing.T) {
+	pts := generators.SeedSpreader(5000, 2, 3)
+	edges := Compute(pts)
+	if len(edges) != 4999 {
+		t.Fatalf("%d edges for 5000 points", len(edges))
+	}
+	uf := unionfind.New(5000)
+	for _, e := range edges {
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("cycle at edge %v", e)
+		}
+	}
+	if uf.Count() != 1 {
+		t.Fatalf("not spanning: %d components", uf.Count())
+	}
+}
+
+func TestEMSTClusteredMatchesPrim(t *testing.T) {
+	pts := generators.SeedSpreader(400, 3, 9)
+	gw := TotalWeight(Compute(pts))
+	ww := TotalWeight(Prim(pts))
+	if math.Abs(gw-ww) > 1e-9*(1+ww) {
+		t.Fatalf("clustered weight %.12g vs Prim %.12g", gw, ww)
+	}
+}
+
+func TestEMSTTrivial(t *testing.T) {
+	if e := Compute(geom.NewPoints(0, 2)); e != nil {
+		t.Fatal("empty input")
+	}
+	if e := Compute(geom.Points{Dim: 2, Data: []float64{1, 1}}); e != nil {
+		t.Fatal("single point")
+	}
+	two := geom.Points{Dim: 2, Data: []float64{0, 0, 3, 4}}
+	e := Compute(two)
+	if len(e) != 1 || e[0].SqDist != 25 {
+		t.Fatalf("two points: %v", e)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := unionfind.New(10)
+	if uf.Count() != 10 {
+		t.Fatal("initial count")
+	}
+	if !uf.Union(0, 1) || uf.Union(0, 1) {
+		t.Fatal("union semantics")
+	}
+	if !uf.Connected(0, 1) || uf.Connected(0, 2) {
+		t.Fatal("connected wrong")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	if !uf.Connected(0, 2) || uf.Count() != 7 {
+		t.Fatalf("merge wrong: count=%d", uf.Count())
+	}
+}

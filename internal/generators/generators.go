@@ -1,0 +1,269 @@
+// Package generators reproduces ParGeo's data-generator module (Module 4)
+// plus the synthetic stand-ins for the paper's real-world inputs.
+//
+// Synthetic families from the paper's §6 "Data Sets":
+//
+//   - Uniform (U): uniform in a hypercube with side length sqrt(n)
+//   - InSphere (IS): uniform inside a hypersphere
+//   - OnSphere (OS): uniform on a hypersphere surface with thickness 0.1x
+//     the diameter
+//   - OnCube (OC): uniform on a hypercube surface with thickness 0.1x the
+//     side length
+//   - SeedSpreader (SS): clustered sets of varying density, after Gan & Tao
+//     (the paper's "synthetic seed spreader")
+//   - VisualVar (V): 2D variable-density clusters (the 2D-V data set of
+//     Fig. 14)
+//
+// Real-data substitutes (documented in DESIGN.md): Statue and Dragon
+// approximate the Stanford Thai-statue and Dragon scans with noisy points
+// sampled from a union of curved surface patches. What matters for the
+// experiments that use them (3D hull, SEB) is that points lie on a thin
+// 2-manifold-like shell with non-uniform density, giving small hull output
+// relative to n — exactly the property these generators reproduce.
+//
+// All generators are deterministic given a seed and are parallelized over
+// points (each point's value is a pure hash of its index and the seed, so
+// the output is independent of GOMAXPROCS).
+package generators
+
+import (
+	"math"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+	"pargeo/internal/rng"
+)
+
+// sideLength mirrors the paper: cube side sqrt(n).
+func sideLength(n int) float64 { return math.Sqrt(float64(n)) }
+
+// fill evaluates f(i, stream) for each point i in parallel, where stream is
+// a per-point deterministic RNG.
+func fill(n, dim int, seed uint64, f func(i int, r *rng.Xoshiro256, out []float64)) geom.Points {
+	pts := geom.NewPoints(n, dim)
+	parlay.ForBlocked(n, 1024, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := rng.NewXoshiro256(rng.Hash64(seed ^ uint64(i)*0x9e3779b97f4a7c15))
+			f(i, r, pts.At(i))
+		}
+	})
+	return pts
+}
+
+// UniformCube generates n points uniformly inside a d-dimensional hypercube
+// of side length sqrt(n) (the paper's U data sets).
+func UniformCube(n, dim int, seed uint64) geom.Points {
+	side := sideLength(n)
+	return fill(n, dim, seed, func(i int, r *rng.Xoshiro256, out []float64) {
+		for c := 0; c < dim; c++ {
+			out[c] = r.Float64() * side
+		}
+	})
+}
+
+// InSphere generates n points uniformly inside a d-dimensional ball of
+// radius sqrt(n)/2 (the paper's IS data sets).
+func InSphere(n, dim int, seed uint64) geom.Points {
+	radius := sideLength(n) / 2
+	return fill(n, dim, seed, func(i int, r *rng.Xoshiro256, out []float64) {
+		sampleBall(r, out, radius)
+	})
+}
+
+// OnSphere generates n points on a d-sphere surface of radius sqrt(n)/2
+// with relative shell thickness 0.1 (the paper's OS data sets: "surfaces
+// have a thickness equal to 0.1 times the diameter").
+func OnSphere(n, dim int, seed uint64) geom.Points {
+	radius := sideLength(n) / 2
+	thick := 0.1 * 2 * radius
+	return fill(n, dim, seed, func(i int, r *rng.Xoshiro256, out []float64) {
+		sampleSphereShell(r, out, radius, thick)
+	})
+}
+
+// OnCube generates n points on the surface shell of a hypercube of side
+// sqrt(n), shell thickness 0.1x the side (the paper's OC data sets).
+func OnCube(n, dim int, seed uint64) geom.Points {
+	side := sideLength(n)
+	thick := 0.1 * side
+	return fill(n, dim, seed, func(i int, r *rng.Xoshiro256, out []float64) {
+		// Pick a face (2*dim of them), place the point on it, then push it
+		// inward by up to thick.
+		face := r.Intn(2 * dim)
+		axis := face / 2
+		hi := face%2 == 1
+		for c := 0; c < dim; c++ {
+			out[c] = r.Float64() * side
+		}
+		depth := r.Float64() * thick
+		if hi {
+			out[axis] = side - depth
+		} else {
+			out[axis] = depth
+		}
+	})
+}
+
+// sampleBall writes a uniform point in the ball of the given radius.
+func sampleBall(r *rng.Xoshiro256, out []float64, radius float64) {
+	d := len(out)
+	// Gaussian direction + radius via u^(1/d) for uniformity in volume.
+	norm := 0.0
+	for c := 0; c < d; c++ {
+		out[c] = r.NormFloat64()
+		norm += out[c] * out[c]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		norm = 1
+	}
+	rad := radius * math.Pow(r.Float64(), 1/float64(d))
+	for c := 0; c < d; c++ {
+		out[c] = out[c] / norm * rad
+	}
+}
+
+// sampleSphereShell writes a uniform point on a sphere of the given radius,
+// jittered inward by up to thick.
+func sampleSphereShell(r *rng.Xoshiro256, out []float64, radius, thick float64) {
+	d := len(out)
+	norm := 0.0
+	for c := 0; c < d; c++ {
+		out[c] = r.NormFloat64()
+		norm += out[c] * out[c]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		norm = 1
+	}
+	rad := radius - r.Float64()*thick
+	for c := 0; c < d; c++ {
+		out[c] = out[c] / norm * rad
+	}
+}
+
+// SeedSpreader generates clustered data after Gan & Tao's seed spreader:
+// a random walker emits points around its location with a local spread,
+// occasionally restarting at a new random location, yielding clusters of
+// varying density. numRestarts controls cluster count (default n/10000+10).
+func SeedSpreader(n, dim int, seed uint64) geom.Points {
+	side := sideLength(n)
+	pts := geom.NewPoints(n, dim)
+	r := rng.NewXoshiro256(seed)
+	pos := make([]float64, dim)
+	for c := range pos {
+		pos[c] = r.Float64() * side
+	}
+	spread := side / 100
+	restartProb := 10.0 / float64(n) * math.Max(1, float64(n)/10000)
+	stepLen := spread / 4
+	for i := 0; i < n; i++ {
+		if r.Float64() < restartProb {
+			for c := range pos {
+				pos[c] = r.Float64() * side
+			}
+			spread = side / 100 * (0.2 + 1.8*r.Float64()) // density variation
+		}
+		out := pts.At(i)
+		for c := 0; c < dim; c++ {
+			out[c] = pos[c] + r.NormFloat64()*spread
+			pos[c] += (r.Float64()*2 - 1) * stepLen
+			// Reflect the walker back into the domain.
+			if pos[c] < 0 {
+				pos[c] = -pos[c]
+			}
+			if pos[c] > side {
+				pos[c] = 2*side - pos[c]
+			}
+		}
+	}
+	return pts
+}
+
+// VisualVar generates the 2D variable-density clustered set used as 2D-V in
+// the paper's Fig. 14: a handful of Gaussian clusters whose standard
+// deviations span two orders of magnitude, over a uniform background.
+func VisualVar(n int, seed uint64) geom.Points {
+	const dim = 2
+	side := sideLength(n)
+	const numClusters = 12
+	type cluster struct {
+		cx, cy, sd float64
+	}
+	r := rng.NewXoshiro256(seed)
+	clusters := make([]cluster, numClusters)
+	for i := range clusters {
+		clusters[i] = cluster{
+			cx: r.Float64() * side,
+			cy: r.Float64() * side,
+			sd: side / 1000 * math.Pow(100, r.Float64()), // side/1000 .. side/10
+		}
+	}
+	return fill(n, dim, seed+1, func(i int, pr *rng.Xoshiro256, out []float64) {
+		if pr.Float64() < 0.05 { // background noise
+			out[0] = pr.Float64() * side
+			out[1] = pr.Float64() * side
+			return
+		}
+		c := clusters[pr.Intn(numClusters)]
+		out[0] = c.cx + pr.NormFloat64()*c.sd
+		out[1] = c.cy + pr.NormFloat64()*c.sd
+	})
+}
+
+// Statue is the synthetic substitute for the Stanford Thai-statue scan
+// (3D-Thai-5M): points sampled from a union of deformed torus and sphere
+// patches with scanner-like surface noise. Non-convex, thin-shelled,
+// non-uniform density.
+func Statue(n int, seed uint64) geom.Points {
+	return surfaceUnion(n, seed, 7)
+}
+
+// Dragon is the synthetic substitute for the Stanford Dragon scan
+// (3D-Dragon-3.6M): like Statue but with an elongated, curved body made of
+// swept circular sections.
+func Dragon(n int, seed uint64) geom.Points {
+	return surfaceUnion(n, seed^0xd4a90, 4)
+}
+
+// surfaceUnion samples points from numParts curved surface patches (tori
+// with varying radii, positions and orientations) with 0.5% surface noise.
+func surfaceUnion(n int, seed uint64, numParts int) geom.Points {
+	const dim = 3
+	side := sideLength(n)
+	r := rng.NewXoshiro256(seed)
+	type part struct {
+		cx, cy, cz float64 // center
+		major      float64 // torus major radius
+		minor      float64 // torus tube radius
+		rotA, rotB float64 // orientation angles
+	}
+	parts := make([]part, numParts)
+	for i := range parts {
+		parts[i] = part{
+			cx:    side * (0.3 + 0.4*r.Float64()),
+			cy:    side * (0.3 + 0.4*r.Float64()),
+			cz:    side * (0.3 + 0.4*r.Float64()),
+			major: side * (0.05 + 0.12*r.Float64()),
+			minor: side * (0.01 + 0.04*r.Float64()),
+			rotA:  r.Float64() * math.Pi,
+			rotB:  r.Float64() * math.Pi,
+		}
+	}
+	noise := side * 0.005
+	return fill(n, dim, seed+2, func(i int, pr *rng.Xoshiro256, out []float64) {
+		p := parts[pr.Intn(numParts)]
+		u := pr.Float64() * 2 * math.Pi
+		v := pr.Float64() * 2 * math.Pi
+		// Torus point in local frame.
+		x := (p.major + p.minor*math.Cos(v)) * math.Cos(u)
+		y := (p.major + p.minor*math.Cos(v)) * math.Sin(u)
+		z := p.minor * math.Sin(v)
+		// Rotate about z by rotA, then about x by rotB.
+		x, y = x*math.Cos(p.rotA)-y*math.Sin(p.rotA), x*math.Sin(p.rotA)+y*math.Cos(p.rotA)
+		y, z = y*math.Cos(p.rotB)-z*math.Sin(p.rotB), y*math.Sin(p.rotB)+z*math.Cos(p.rotB)
+		out[0] = p.cx + x + pr.NormFloat64()*noise
+		out[1] = p.cy + y + pr.NormFloat64()*noise
+		out[2] = p.cz + z + pr.NormFloat64()*noise
+	})
+}

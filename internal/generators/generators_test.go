@@ -1,0 +1,163 @@
+package generators
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/geom"
+)
+
+func TestUniformCubeBounds(t *testing.T) {
+	n := 10000
+	side := math.Sqrt(float64(n))
+	pts := UniformCube(n, 3, 1)
+	if pts.Len() != n || pts.Dim != 3 {
+		t.Fatalf("shape %d x %d", pts.Len(), pts.Dim)
+	}
+	for i := 0; i < n; i++ {
+		for _, v := range pts.At(i) {
+			if v < 0 || v > side {
+				t.Fatalf("point %d out of cube: %v", i, pts.At(i))
+			}
+		}
+	}
+	// Coverage: points should spread across the cube, not cluster.
+	box := geom.BoundingBoxAll(pts)
+	for c := 0; c < 3; c++ {
+		if box.Max[c]-box.Min[c] < side*0.9 {
+			t.Fatalf("dimension %d poorly covered: [%v, %v]", c, box.Min[c], box.Max[c])
+		}
+	}
+}
+
+func TestInSphereRadius(t *testing.T) {
+	n := 5000
+	radius := math.Sqrt(float64(n)) / 2
+	pts := InSphere(n, 3, 2)
+	maxR, minR := 0.0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		r := math.Sqrt(geom.SqDist(pts.At(i), []float64{0, 0, 0}))
+		if r > maxR {
+			maxR = r
+		}
+		if r < minR {
+			minR = r
+		}
+	}
+	if maxR > radius*(1+1e-9) {
+		t.Fatalf("point outside sphere: %v > %v", maxR, radius)
+	}
+	if minR > radius/2 {
+		t.Fatalf("no points near center: min radius %v", minR)
+	}
+}
+
+func TestOnSphereShell(t *testing.T) {
+	n := 5000
+	radius := math.Sqrt(float64(n)) / 2
+	thick := 0.1 * 2 * radius
+	pts := OnSphere(n, 3, 3)
+	for i := 0; i < n; i++ {
+		r := math.Sqrt(geom.SqDist(pts.At(i), []float64{0, 0, 0}))
+		if r > radius*(1+1e-9) || r < radius-thick-1e-9 {
+			t.Fatalf("point %d off shell: r=%v (radius %v, thick %v)", i, r, radius, thick)
+		}
+	}
+}
+
+func TestOnCubeShell(t *testing.T) {
+	n := 5000
+	side := math.Sqrt(float64(n))
+	thick := 0.1 * side
+	pts := OnCube(n, 3, 4)
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		nearFace := false
+		for c := 0; c < 3; c++ {
+			if p[c] < 0 || p[c] > side {
+				t.Fatalf("point %d outside cube", i)
+			}
+			if p[c] <= thick+1e-9 || p[c] >= side-thick-1e-9 {
+				nearFace = true
+			}
+		}
+		if !nearFace {
+			t.Fatalf("point %d (%v) not near any face", i, p)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := UniformCube(1000, 2, 42)
+	b := UniformCube(1000, 2, 42)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := UniformCube(1000, 2, 43)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSeedSpreaderClusters(t *testing.T) {
+	// Clustered data should have much smaller average nearest-pair
+	// distances than uniform data of the same size.
+	n := 5000
+	ss := SeedSpreader(n, 2, 5)
+	if ss.Len() != n {
+		t.Fatalf("len %d", ss.Len())
+	}
+	u := UniformCube(n, 2, 5)
+	avgNN := func(p geom.Points) float64 {
+		s := 0.0
+		cnt := 0
+		for i := 0; i < 500; i++ {
+			best := math.Inf(1)
+			for j := 0; j < n; j += 7 {
+				if i == j {
+					continue
+				}
+				if d := p.SqDist(i, j); d < best {
+					best = d
+				}
+			}
+			s += math.Sqrt(best)
+			cnt++
+		}
+		return s / float64(cnt)
+	}
+	if avgNN(ss) >= avgNN(u) {
+		t.Fatal("seed spreader shows no clustering")
+	}
+}
+
+func TestVisualVarShape(t *testing.T) {
+	pts := VisualVar(3000, 6)
+	if pts.Len() != 3000 || pts.Dim != 2 {
+		t.Fatalf("shape %d x %d", pts.Len(), pts.Dim)
+	}
+}
+
+func TestStatueDragonSurfaces(t *testing.T) {
+	for _, gen := range []func(int, uint64) geom.Points{Statue, Dragon} {
+		pts := gen(5000, 7)
+		if pts.Len() != 5000 || pts.Dim != 3 {
+			t.Fatalf("shape %d x %d", pts.Len(), pts.Dim)
+		}
+		// Surface data: the fraction of points on the convex hull must be
+		// tiny relative to n (the property Fig. 9's real scans exercise).
+		box := geom.BoundingBoxAll(pts)
+		if box.SqDiameter() == 0 {
+			t.Fatal("degenerate surface")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package geom
+
+import "math/big"
+
+// Exact-arithmetic fallbacks for the geometric predicates. The fast paths
+// in predicates.go evaluate the determinants in float64 with a forward
+// error bound; when the magnitude falls inside the uncertainty interval the
+// sign is recomputed here exactly with big.Rat (every float64 is exactly
+// representable as a rational, so this incurs no rounding at all). The
+// fallback triggers only on (near-)degenerate inputs, so its cost is
+// invisible on the random workloads of the paper while making the
+// predicates' signs — and therefore the hulls and triangulations — exact.
+
+func ratOf(v float64) *big.Rat { return new(big.Rat).SetFloat64(v) }
+
+// orient2DExact returns the exact sign of the 2D orientation determinant.
+func orient2DExact(a, b, c []float64) int {
+	// (b-a) x (c-a) over rationals.
+	bax := new(big.Rat).Sub(ratOf(b[0]), ratOf(a[0]))
+	bay := new(big.Rat).Sub(ratOf(b[1]), ratOf(a[1]))
+	cax := new(big.Rat).Sub(ratOf(c[0]), ratOf(a[0]))
+	cay := new(big.Rat).Sub(ratOf(c[1]), ratOf(a[1]))
+	l := new(big.Rat).Mul(bax, cay)
+	r := new(big.Rat).Mul(bay, cax)
+	return l.Cmp(r)
+}
+
+// orient3DExact returns the exact sign of the 3x3 orientation determinant
+// with rows (a-d, b-d, c-d).
+func orient3DExact(a, b, c, d []float64) int {
+	var m [3][3]*big.Rat
+	rows := [3][]float64{a, b, c}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m[i][j] = new(big.Rat).Sub(ratOf(rows[i][j]), ratOf(d[j]))
+		}
+	}
+	return det3(m).Sign()
+}
+
+func det3(m [3][3]*big.Rat) *big.Rat {
+	minor := func(r0, r1, c0, c1 int) *big.Rat {
+		l := new(big.Rat).Mul(m[r0][c0], m[r1][c1])
+		r := new(big.Rat).Mul(m[r0][c1], m[r1][c0])
+		return l.Sub(l, r)
+	}
+	out := new(big.Rat).Mul(m[0][0], minor(1, 2, 1, 2))
+	t := new(big.Rat).Mul(m[0][1], minor(1, 2, 0, 2))
+	out.Sub(out, t)
+	t = new(big.Rat).Mul(m[0][2], minor(1, 2, 0, 1))
+	return out.Add(out, t)
+}
+
+// inCircleExact returns the exact sign of the in-circle determinant for
+// CCW triangle (a, b, c) and query d.
+func inCircleExact(a, b, c, d []float64) int {
+	var m [3][3]*big.Rat
+	rows := [3][]float64{a, b, c}
+	for i := 0; i < 3; i++ {
+		dx := new(big.Rat).Sub(ratOf(rows[i][0]), ratOf(d[0]))
+		dy := new(big.Rat).Sub(ratOf(rows[i][1]), ratOf(d[1]))
+		lift := new(big.Rat).Mul(dx, dx)
+		t := new(big.Rat).Mul(dy, dy)
+		lift.Add(lift, t)
+		m[i][0], m[i][1], m[i][2] = dx, dy, lift
+	}
+	return det3(m).Sign()
+}

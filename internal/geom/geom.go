@@ -1,0 +1,250 @@
+// Package geom is the geometric kernel shared by every ParGeo module: point
+// storage, bounding boxes, distances, and the orientation / in-sphere /
+// plane-side predicates the algorithms are built from.
+//
+// Point storage is a flat structure-of-arrays buffer (Points) holding n
+// d-dimensional float64 coordinates contiguously. Algorithms address points
+// by index, which keeps the hot loops allocation-free and cache-friendly and
+// lets permutations be expressed over []int32 index slices — the same layout
+// decision ParGeo makes with its pargeo::point<dim>.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Points is a flat, structure-of-arrays buffer of n points in R^d.
+// Point i occupies Data[i*Dim : (i+1)*Dim].
+type Points struct {
+	Data []float64
+	Dim  int
+}
+
+// NewPoints allocates storage for n d-dimensional points.
+func NewPoints(n, dim int) Points {
+	return Points{Data: make([]float64, n*dim), Dim: dim}
+}
+
+// Len returns the number of points.
+func (p Points) Len() int {
+	if p.Dim == 0 {
+		return 0
+	}
+	return len(p.Data) / p.Dim
+}
+
+// At returns a slice aliasing the coordinates of point i.
+func (p Points) At(i int) []float64 {
+	return p.Data[i*p.Dim : i*p.Dim+p.Dim : i*p.Dim+p.Dim]
+}
+
+// Coord returns coordinate c of point i.
+func (p Points) Coord(i, c int) float64 { return p.Data[i*p.Dim+c] }
+
+// Set copies coords into point i.
+func (p Points) Set(i int, coords []float64) {
+	copy(p.Data[i*p.Dim:(i+1)*p.Dim], coords)
+}
+
+// Slice returns the sub-buffer containing points [lo, hi).
+func (p Points) Slice(lo, hi int) Points {
+	return Points{Data: p.Data[lo*p.Dim : hi*p.Dim], Dim: p.Dim}
+}
+
+// Gather returns a new buffer with the points at the given indices, in order.
+func (p Points) Gather(idx []int32) Points {
+	out := NewPoints(len(idx), p.Dim)
+	for k, i := range idx {
+		copy(out.Data[k*p.Dim:(k+1)*p.Dim], p.At(int(i)))
+	}
+	return out
+}
+
+// Append appends the coordinates of one point and returns the new buffer.
+func (p Points) Append(coords []float64) Points {
+	if len(coords) != p.Dim {
+		panic(fmt.Sprintf("geom: appending %d-dim point to %d-dim buffer", len(coords), p.Dim))
+	}
+	p.Data = append(p.Data, coords...)
+	return p
+}
+
+// SqDist returns the squared Euclidean distance between points i and j.
+func (p Points) SqDist(i, j int) float64 {
+	a := p.At(i)
+	b := p.At(j)
+	return SqDist(a, b)
+}
+
+// SqDist returns the squared Euclidean distance between coordinate slices.
+func SqDist(a, b []float64) float64 {
+	s := 0.0
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between coordinate slices.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// Box is an axis-aligned bounding box in R^d.
+type Box struct {
+	Min, Max []float64
+}
+
+// EmptyBox returns a box that contains nothing (Min=+inf, Max=-inf).
+func EmptyBox(dim int) Box {
+	b := Box{Min: make([]float64, dim), Max: make([]float64, dim)}
+	for i := 0; i < dim; i++ {
+		b.Min[i] = math.Inf(1)
+		b.Max[i] = math.Inf(-1)
+	}
+	return b
+}
+
+// Expand grows the box to include the point with the given coordinates.
+func (b *Box) Expand(coords []float64) {
+	for i, v := range coords {
+		if v < b.Min[i] {
+			b.Min[i] = v
+		}
+		if v > b.Max[i] {
+			b.Max[i] = v
+		}
+	}
+}
+
+// Union grows the box to include box o.
+func (b *Box) Union(o Box) {
+	for i := range b.Min {
+		if o.Min[i] < b.Min[i] {
+			b.Min[i] = o.Min[i]
+		}
+		if o.Max[i] > b.Max[i] {
+			b.Max[i] = o.Max[i]
+		}
+	}
+}
+
+// Contains reports whether the point lies inside the closed box.
+func (b Box) Contains(coords []float64) bool {
+	for i, v := range coords {
+		if v < b.Min[i] || v > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b Box) ContainsBox(o Box) bool {
+	for i := range b.Min {
+		if o.Min[i] < b.Min[i] || o.Max[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two closed boxes overlap.
+func (b Box) Intersects(o Box) bool {
+	for i := range b.Min {
+		if o.Max[i] < b.Min[i] || o.Min[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SqDistToPoint returns the squared distance from the box to the point
+// (zero if inside).
+func (b Box) SqDistToPoint(coords []float64) float64 {
+	s := 0.0
+	for i, v := range coords {
+		if v < b.Min[i] {
+			d := b.Min[i] - v
+			s += d * d
+		} else if v > b.Max[i] {
+			d := v - b.Max[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// SqDistToBox returns the squared distance between two boxes (zero if they
+// intersect).
+func (b Box) SqDistToBox(o Box) float64 {
+	s := 0.0
+	for i := range b.Min {
+		var d float64
+		if o.Max[i] < b.Min[i] {
+			d = b.Min[i] - o.Max[i]
+		} else if b.Max[i] < o.Min[i] {
+			d = o.Min[i] - b.Max[i]
+		}
+		s += d * d
+	}
+	return s
+}
+
+// MaxSqDistToPoint returns the squared distance from the point to the
+// farthest corner of the box.
+func (b Box) MaxSqDistToPoint(coords []float64) float64 {
+	s := 0.0
+	for i, v := range coords {
+		d := math.Max(math.Abs(v-b.Min[i]), math.Abs(v-b.Max[i]))
+		s += d * d
+	}
+	return s
+}
+
+// Diameter returns the squared length of the box diagonal.
+func (b Box) SqDiameter() float64 {
+	s := 0.0
+	for i := range b.Min {
+		d := b.Max[i] - b.Min[i]
+		s += d * d
+	}
+	return s
+}
+
+// Center writes the box center into out.
+func (b Box) Center(out []float64) {
+	for i := range b.Min {
+		out[i] = (b.Min[i] + b.Max[i]) / 2
+	}
+}
+
+// WidestDim returns the dimension with the largest extent.
+func (b Box) WidestDim() int {
+	best, bestW := 0, b.Max[0]-b.Min[0]
+	for i := 1; i < len(b.Min); i++ {
+		if w := b.Max[i] - b.Min[i]; w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// BoundingBox computes the bounding box of the points at the given indices.
+func BoundingBox(p Points, idx []int32) Box {
+	b := EmptyBox(p.Dim)
+	for _, i := range idx {
+		b.Expand(p.At(int(i)))
+	}
+	return b
+}
+
+// BoundingBoxAll computes the bounding box of every point in the buffer.
+func BoundingBoxAll(p Points) Box {
+	b := EmptyBox(p.Dim)
+	n := p.Len()
+	for i := 0; i < n; i++ {
+		b.Expand(p.At(i))
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointsBasics(t *testing.T) {
+	p := NewPoints(3, 2)
+	p.Set(0, []float64{1, 2})
+	p.Set(1, []float64{3, 4})
+	p.Set(2, []float64{5, 6})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Coord(1, 1) != 4 {
+		t.Fatalf("Coord(1,1) = %v", p.Coord(1, 1))
+	}
+	if got := p.At(2); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("At(2) = %v", got)
+	}
+	s := p.Slice(1, 3)
+	if s.Len() != 2 || s.Coord(0, 0) != 3 {
+		t.Fatalf("Slice bad: %+v", s)
+	}
+	g := p.Gather([]int32{2, 0})
+	if g.Coord(0, 0) != 5 || g.Coord(1, 0) != 1 {
+		t.Fatalf("Gather bad: %+v", g)
+	}
+	if d := p.SqDist(0, 1); d != 8 {
+		t.Fatalf("SqDist = %v", d)
+	}
+}
+
+func TestBoxOperations(t *testing.T) {
+	b := EmptyBox(2)
+	if b.Contains([]float64{0, 0}) {
+		t.Fatal("empty box contains point")
+	}
+	b.Expand([]float64{1, 1})
+	b.Expand([]float64{3, 5})
+	if !b.Contains([]float64{2, 3}) || b.Contains([]float64{0, 0}) {
+		t.Fatal("contains wrong")
+	}
+	o := EmptyBox(2)
+	o.Expand([]float64{4, 4})
+	o.Expand([]float64{6, 6})
+	if b.Intersects(o) {
+		t.Fatal("disjoint boxes intersect") // b.max=(3,5), o.min=(4,4): disjoint in x
+	}
+	if d := b.SqDistToPoint([]float64{5, 5}); d != 4 {
+		t.Fatalf("SqDistToPoint = %v", d)
+	}
+	if d := b.SqDistToBox(o); d != 1 {
+		t.Fatalf("SqDistToBox = %v, want 1", d)
+	}
+	b.Union(o)
+	if !b.ContainsBox(o) {
+		t.Fatal("union does not contain operand")
+	}
+	if w := b.WidestDim(); w != 0 && w != 1 {
+		t.Fatalf("WidestDim = %d", w)
+	}
+	c := make([]float64, 2)
+	b.Center(c)
+	if c[0] != 3.5 || c[1] != 3.5 {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestOrient2D(t *testing.T) {
+	a, b := []float64{0, 0}, []float64{1, 0}
+	if Orient2D(a, b, []float64{0.5, 1}) != 1 {
+		t.Fatal("left should be +1")
+	}
+	if Orient2D(a, b, []float64{0.5, -1}) != -1 {
+		t.Fatal("right should be -1")
+	}
+	if Orient2D(a, b, []float64{2, 0}) != 0 {
+		t.Fatal("collinear should be 0")
+	}
+}
+
+func TestOrient3DAndPlaneSide(t *testing.T) {
+	a, b, c := []float64{0, 0, 0}, []float64{1, 0, 0}, []float64{0, 1, 0}
+	// PlaneSide3 positive above the CCW plane (normal +z).
+	if PlaneSide3(a, b, c, []float64{0, 0, 1}) <= 0 {
+		t.Fatal("above should be positive")
+	}
+	if PlaneSide3(a, b, c, []float64{0, 0, -1}) >= 0 {
+		t.Fatal("below should be negative")
+	}
+	if Orient3D(a, b, c, []float64{0.2, 0.2, 0}) != 0 {
+		t.Fatal("coplanar should be 0")
+	}
+	if Orient3D(a, b, c, []float64{0, 0, 1}) == 0 {
+		t.Fatal("off-plane should be nonzero")
+	}
+}
+
+func TestInCircle(t *testing.T) {
+	// Unit circle through (1,0), (0,1), (-1,0) (CCW).
+	a, b, c := []float64{1, 0}, []float64{0, 1}, []float64{-1, 0}
+	if InCircle(a, b, c, []float64{0, 0}) != 1 {
+		t.Fatal("origin should be inside")
+	}
+	if InCircle(a, b, c, []float64{2, 2}) != -1 {
+		t.Fatal("(2,2) should be outside")
+	}
+	if InCircle(a, b, c, []float64{0, -1}) != 0 {
+		t.Fatal("(0,-1) should be on the circle")
+	}
+}
+
+func TestCircumball(t *testing.T) {
+	center := make([]float64, 2)
+	// Two points: midpoint.
+	sq, ok := Circumball([][]float64{{0, 0}, {2, 0}}, center)
+	if !ok || sq != 1 || center[0] != 1 || center[1] != 0 {
+		t.Fatalf("two-point circumball: %v %v %v", sq, center, ok)
+	}
+	// Right triangle (0,0),(2,0),(0,2): circumcenter (1,1), r² = 2.
+	sq, ok = Circumball([][]float64{{0, 0}, {2, 0}, {0, 2}}, center)
+	if !ok || math.Abs(sq-2) > 1e-12 || math.Abs(center[0]-1) > 1e-12 {
+		t.Fatalf("triangle circumball: %v %v", sq, center)
+	}
+	// 3D tetra circumball.
+	c3 := make([]float64, 3)
+	sq, ok = Circumball([][]float64{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, c3)
+	if !ok || math.Abs(sq-1) > 1e-12 {
+		t.Fatalf("tetra circumball: %v %v", sq, c3)
+	}
+	// Degenerate: collinear 3 points.
+	if _, ok := Circumball([][]float64{{0, 0}, {1, 0}, {2, 0}}, center); ok {
+		t.Fatal("collinear circumball should fail")
+	}
+	// Empty and single-point supports.
+	if sq, ok := Circumball(nil, center); !ok || sq != 0 {
+		t.Fatal("empty circumball")
+	}
+	if sq, ok := Circumball([][]float64{{3, 4}}, center); !ok || sq != 0 || center[0] != 3 {
+		t.Fatal("single-point circumball")
+	}
+}
+
+func TestCircumballProperty(t *testing.T) {
+	// Property: all support points are equidistant from the center.
+	f := func(raw [6]float64) bool {
+		pts := [][]float64{
+			{math.Mod(raw[0], 100), math.Mod(raw[1], 100)},
+			{math.Mod(raw[2], 100), math.Mod(raw[3], 100)},
+			{math.Mod(raw[4], 100), math.Mod(raw[5], 100)},
+		}
+		for _, p := range pts {
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return true
+				}
+			}
+		}
+		center := make([]float64, 2)
+		sq, ok := Circumball(pts, center)
+		if !ok {
+			return true // degenerate input
+		}
+		for _, p := range pts {
+			if math.Abs(SqDist(center, p)-sq) > 1e-6*(1+sq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrient2DProperty(t *testing.T) {
+	// Antisymmetry: swapping two arguments flips the sign.
+	f := func(raw [6]int16) bool {
+		a := []float64{float64(raw[0]), float64(raw[1])}
+		b := []float64{float64(raw[2]), float64(raw[3])}
+		c := []float64{float64(raw[4]), float64(raw[5])}
+		return Orient2D(a, b, c) == -Orient2D(b, a, c) &&
+			Orient2D(a, b, c) == Orient2D(b, c, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

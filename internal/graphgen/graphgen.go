@@ -1,0 +1,281 @@
+// Package graphgen implements ParGeo's spatial graph generators (Module 3):
+// the k-NN graph, Delaunay graph, Gabriel graph, β-skeleton, and the
+// WSPD-based t-spanner. Each generator composes the library's substrates
+// exactly as Figure 1 indicates: k-NN graphs come from the kd-tree's k-NN
+// search, β-skeletons use the kd-tree's range search for lune-emptiness
+// tests, spanners come from the WSPD, and the Delaunay/Gabriel graphs come
+// from the Delaunay triangulation.
+package graphgen
+
+import (
+	"math"
+
+	"pargeo/internal/delaunay"
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/parlay"
+	"pargeo/internal/wspd"
+)
+
+// Edge is an undirected edge between point indices (U < V).
+type Edge struct{ U, V int32 }
+
+func mkEdge(u, v int32) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// KNNGraph returns the directed k-nearest-neighbor graph: row i lists the k
+// nearest neighbors of point i (data-parallel k-NN over a kd-tree).
+func KNNGraph(pts geom.Points, k int) [][]int32 {
+	t := kdtree.Build(pts, kdtree.Options{Split: kdtree.ObjectMedian})
+	n := pts.Len()
+	queries := make([]int32, n)
+	parlay.For(n, 0, func(i int) { queries[i] = int32(i) })
+	return t.KNN(queries, k)
+}
+
+// KNNGraphEdges returns the undirected edge set of the k-NN graph.
+func KNNGraphEdges(pts geom.Points, k int) []Edge {
+	adj := KNNGraph(pts, k)
+	seen := map[Edge]bool{}
+	var out []Edge
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			e := mkEdge(int32(u), v)
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// DelaunayGraph returns the Delaunay graph edges (parallel triangulation).
+func DelaunayGraph(pts geom.Points, seed uint64) []Edge {
+	dt := delaunay.Parallel(pts, seed)
+	des := dt.Edges()
+	out := make([]Edge, len(des))
+	for i, e := range des {
+		out[i] = Edge{e.U, e.V}
+	}
+	return out
+}
+
+// GabrielGraph returns the Gabriel graph: edges (u,v) whose diametral disk
+// contains no other point. Since the Gabriel graph is a subgraph of the
+// Delaunay graph, it is computed by filtering Delaunay edges with a
+// nearest-neighbor probe at each edge midpoint (data-parallel).
+func GabrielGraph(pts geom.Points, seed uint64) []Edge {
+	des := DelaunayGraph(pts, seed)
+	t := kdtree.Build(pts, kdtree.Options{})
+	keep := make([]bool, len(des))
+	parlay.ForBlocked(len(des), 64, func(lo, hi int) {
+		buf := kdtree.NewKNNBuffer(3)
+		mid := make([]float64, 2)
+		for i := lo; i < hi; i++ {
+			e := des[i]
+			u, v := pts.At(int(e.U)), pts.At(int(e.V))
+			mid[0] = (u[0] + v[0]) / 2
+			mid[1] = (u[1] + v[1]) / 2
+			sqRad := geom.SqDist(u, v) / 4
+			buf.Reset()
+			t.KNNInto(mid, -1, buf)
+			ids := buf.Result(nil)
+			empty := true
+			for _, id := range ids {
+				if id == e.U || id == e.V {
+					continue
+				}
+				if geom.SqDist(mid, pts.At(int(id))) < sqRad*(1-1e-12) {
+					empty = false
+				}
+				break // nearest non-endpoint decides
+			}
+			keep[i] = empty
+		}
+	})
+	return parlay.Pack(des, func(i int) bool { return keep[i] })
+}
+
+// BetaSkeleton returns the lune-based β-skeleton for β >= 1 (β = 1 is the
+// Gabriel graph). An edge (u,v) survives iff the lune — the intersection of
+// the two disks of radius β·|uv|/2 centered at (1-β/2)·u + (β/2)·v and
+// (β/2)·u + (1-β/2)·v — contains no other point. Since for β >= 1 the
+// β-skeleton is a subgraph of the Delaunay graph, Delaunay edges are
+// filtered with a kd-tree range query over the lune's bounding box
+// (the paper's use of range search for the β-skeleton, §2).
+func BetaSkeleton(pts geom.Points, beta float64, seed uint64) []Edge {
+	if beta < 1 {
+		panic("graphgen: BetaSkeleton requires beta >= 1")
+	}
+	des := DelaunayGraph(pts, seed)
+	t := kdtree.Build(pts, kdtree.Options{})
+	keep := make([]bool, len(des))
+	parlay.ForBlocked(len(des), 32, func(lo, hi int) {
+		c1 := make([]float64, 2)
+		c2 := make([]float64, 2)
+		for i := lo; i < hi; i++ {
+			e := des[i]
+			u, v := pts.At(int(e.U)), pts.At(int(e.V))
+			d := math.Sqrt(geom.SqDist(u, v))
+			r := beta * d / 2
+			for c := 0; c < 2; c++ {
+				c1[c] = (1-beta/2)*u[c] + (beta/2)*v[c]
+				c2[c] = (beta/2)*u[c] + (1-beta/2)*v[c]
+			}
+			// Candidates: points in the bounding box of the lune.
+			box := geom.EmptyBox(2)
+			for c := 0; c < 2; c++ {
+				box.Min[c] = math.Max(c1[c]-r, c2[c]-r)
+				box.Max[c] = math.Min(c1[c]+r, c2[c]+r)
+			}
+			empty := true
+			for _, id := range t.RangeSearch(box) {
+				if id == e.U || id == e.V {
+					continue
+				}
+				p := pts.At(int(id))
+				rr := r * r * (1 - 1e-12)
+				if geom.SqDist(p, c1) < rr && geom.SqDist(p, c2) < rr {
+					empty = false
+					break
+				}
+			}
+			keep[i] = empty
+		}
+	})
+	return parlay.Pack(des, func(i int) bool { return keep[i] })
+}
+
+// RelativeNeighborhoodGraph returns the RNG: edges (u,v) such that no
+// point is simultaneously closer to both u and v than they are to each
+// other. It equals the lune-based β-skeleton at β = 2, sitting in the
+// nesting EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay.
+func RelativeNeighborhoodGraph(pts geom.Points, seed uint64) []Edge {
+	return BetaSkeleton(pts, 2.0, seed)
+}
+
+// Spanner builds the WSPD-based t-spanner (§2): one edge between arbitrary
+// representatives of each s-well-separated pair yields a t-spanner with
+// t = (s+4)/(s-4) for s > 4.
+func Spanner(pts geom.Points, s float64) []Edge {
+	if s <= 4 {
+		s = 6 // default: t = 5 spanner
+	}
+	t := kdtree.Build(pts, kdtree.Options{LeafSize: 1})
+	pairs := wspd.Compute(t, s)
+	out := make([]Edge, len(pairs))
+	parlay.For(len(pairs), 256, func(i int) {
+		a := t.Points(pairs[i].A)[0]
+		b := t.Points(pairs[i].B)[0]
+		out[i] = mkEdge(a, b)
+	})
+	return out
+}
+
+// StretchFactor returns the maximum over the sampled point pairs of
+// graph-distance / Euclidean-distance (a verification helper for the
+// spanner property; exact for small n when sample = n).
+func StretchFactor(pts geom.Points, edges []Edge, sample int) float64 {
+	n := pts.Len()
+	if n < 2 {
+		return 1
+	}
+	adj := make([][]int32, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	if sample > n {
+		sample = n
+	}
+	worst := 1.0
+	for src := 0; src < sample; src++ {
+		dist := dijkstra(pts, adj, int32(src))
+		for v := 0; v < n; v++ {
+			if v == src {
+				continue
+			}
+			eu := math.Sqrt(pts.SqDist(src, v))
+			if eu == 0 {
+				continue
+			}
+			if math.IsInf(dist[v], 1) {
+				return math.Inf(1)
+			}
+			if s := dist[v] / eu; s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// dijkstra computes single-source Euclidean-weighted shortest paths with a
+// binary heap.
+func dijkstra(pts geom.Points, adj [][]int32, src int32) []float64 {
+	n := pts.Len()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	type qe struct {
+		d float64
+		v int32
+	}
+	heap := []qe{{0, src}}
+	push := func(e qe) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() qe {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heap[l].d < heap[small].d {
+				small = l
+			}
+			if r < last && heap[r].d < heap[small].d {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		e := pop()
+		if e.d > dist[e.v] {
+			continue
+		}
+		for _, w := range adj[e.v] {
+			nd := e.d + math.Sqrt(pts.SqDist(int(e.v), int(w)))
+			if nd < dist[w] {
+				dist[w] = nd
+				push(qe{nd, w})
+			}
+		}
+	}
+	return dist
+}

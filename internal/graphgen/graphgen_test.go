@@ -1,0 +1,168 @@
+package graphgen
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func TestKNNGraphDegreeAndCorrectness(t *testing.T) {
+	pts := generators.UniformCube(500, 2, 1)
+	k := 4
+	adj := KNNGraph(pts, k)
+	if len(adj) != 500 {
+		t.Fatalf("rows %d", len(adj))
+	}
+	for u, nbrs := range adj {
+		if len(nbrs) != k {
+			t.Fatalf("point %d has %d neighbors", u, len(nbrs))
+		}
+		// Verify against brute force by distance multiset.
+		kth := 0.0
+		for _, v := range nbrs {
+			if d := pts.SqDist(u, int(v)); d > kth {
+				kth = d
+			}
+		}
+		closer := 0
+		for v := 0; v < 500; v++ {
+			if v != u && pts.SqDist(u, v) < kth {
+				closer++
+			}
+		}
+		if closer > k {
+			t.Fatalf("point %d: %d points closer than its kth neighbor", u, closer)
+		}
+	}
+}
+
+func TestGabrielSubsetOfDelaunay(t *testing.T) {
+	pts := generators.UniformCube(400, 2, 2)
+	de := edgeSet(DelaunayGraph(pts, 1))
+	ga := GabrielGraph(pts, 1)
+	if len(ga) == 0 || len(ga) >= len(de) {
+		t.Fatalf("gabriel %d edges, delaunay %d", len(ga), len(de))
+	}
+	for _, e := range ga {
+		if !de[e] {
+			t.Fatalf("gabriel edge %v not in delaunay", e)
+		}
+	}
+	// Brute-force verify the Gabriel property on every kept edge.
+	for _, e := range ga {
+		u, v := pts.At(int(e.U)), pts.At(int(e.V))
+		mid := []float64{(u[0] + v[0]) / 2, (u[1] + v[1]) / 2}
+		sqRad := geom.SqDist(u, v) / 4
+		for p := 0; p < pts.Len(); p++ {
+			if int32(p) == e.U || int32(p) == e.V {
+				continue
+			}
+			if geom.SqDist(mid, pts.At(p)) < sqRad*(1-1e-9) {
+				t.Fatalf("edge %v has point %d in its diametral disk", e, p)
+			}
+		}
+	}
+	// And verify no Delaunay edge wrongly dropped.
+	gaSet := edgeSet(ga)
+	for de1 := range de {
+		u, v := pts.At(int(de1.U)), pts.At(int(de1.V))
+		mid := []float64{(u[0] + v[0]) / 2, (u[1] + v[1]) / 2}
+		sqRad := geom.SqDist(u, v) / 4
+		empty := true
+		for p := 0; p < pts.Len(); p++ {
+			if int32(p) == de1.U || int32(p) == de1.V {
+				continue
+			}
+			if geom.SqDist(mid, pts.At(p)) < sqRad*(1-1e-9) {
+				empty = false
+				break
+			}
+		}
+		if empty && !gaSet[de1] {
+			t.Fatalf("edge %v should be Gabriel but was dropped", de1)
+		}
+	}
+}
+
+func edgeSet(es []Edge) map[Edge]bool {
+	m := make(map[Edge]bool, len(es))
+	for _, e := range es {
+		m[e] = true
+	}
+	return m
+}
+
+func TestBetaSkeletonNesting(t *testing.T) {
+	pts := generators.UniformCube(400, 2, 3)
+	b1 := BetaSkeleton(pts, 1.0, 1)
+	b15 := BetaSkeleton(pts, 1.5, 1)
+	b2 := BetaSkeleton(pts, 2.0, 1)
+	// Larger beta => bigger lune => fewer edges (nested skeletons).
+	if !(len(b2) <= len(b15) && len(b15) <= len(b1)) {
+		t.Fatalf("skeleton sizes not nested: %d %d %d", len(b1), len(b15), len(b2))
+	}
+	s15 := edgeSet(b15)
+	for _, e := range b2 {
+		if !s15[e] {
+			t.Fatalf("beta=2 edge %v missing from beta=1.5", e)
+		}
+	}
+	// Beta = 1 equals the Gabriel graph.
+	ga := edgeSet(GabrielGraph(pts, 1))
+	if len(ga) != len(b1) {
+		t.Fatalf("beta=1 (%d) != gabriel (%d)", len(b1), len(ga))
+	}
+	for _, e := range b1 {
+		if !ga[e] {
+			t.Fatalf("beta=1 edge %v not gabriel", e)
+		}
+	}
+}
+
+func TestSpannerStretch(t *testing.T) {
+	pts := generators.UniformCube(300, 2, 4)
+	s := 6.0
+	edges := Spanner(pts, s)
+	tBound := (s + 4) / (s - 4) // = 5
+	got := StretchFactor(pts, edges, 40)
+	if math.IsInf(got, 1) {
+		t.Fatal("spanner not connected")
+	}
+	if got > tBound+1e-9 {
+		t.Fatalf("stretch %.3f exceeds bound %.3f", got, tBound)
+	}
+}
+
+func TestSpannerSparse(t *testing.T) {
+	pts := generators.UniformCube(2000, 2, 5)
+	edges := Spanner(pts, 6)
+	// WSPD spanners are linear-size: far fewer edges than the complete
+	// graph, more than a tree.
+	if len(edges) < 1999 {
+		t.Fatalf("too few edges: %d", len(edges))
+	}
+	if len(edges) > 2000*200 {
+		t.Fatalf("spanner too dense: %d", len(edges))
+	}
+}
+
+func TestKNNGraphEdgesUndirected(t *testing.T) {
+	pts := generators.UniformCube(200, 2, 6)
+	es := KNNGraphEdges(pts, 3)
+	seen := map[Edge]bool{}
+	for _, e := range es {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+	// Undirected closure of a directed 3-NN graph: between n*k/2 and n*k.
+	if len(es) < 300 || len(es) > 600 {
+		t.Fatalf("edge count %d out of range", len(es))
+	}
+}

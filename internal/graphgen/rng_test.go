@@ -1,0 +1,57 @@
+package graphgen
+
+import (
+	"testing"
+
+	"pargeo/internal/emst"
+	"pargeo/internal/generators"
+)
+
+func TestGraphNestingChain(t *testing.T) {
+	// EMST ⊆ RNG ⊆ Gabriel ⊆ Delaunay — the classic proximity-graph
+	// hierarchy, verified end to end on one point set.
+	pts := generators.UniformCube(600, 2, 11)
+	mst := emst.Compute(pts)
+	rng := edgeSet(RelativeNeighborhoodGraph(pts, 1))
+	gab := edgeSet(GabrielGraph(pts, 1))
+	del := edgeSet(DelaunayGraph(pts, 1))
+	for _, e := range mst {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if !rng[Edge{u, v}] {
+			t.Fatalf("EMST edge (%d,%d) missing from RNG", u, v)
+		}
+	}
+	for e := range rng {
+		if !gab[e] {
+			t.Fatalf("RNG edge %v missing from Gabriel", e)
+		}
+	}
+	for e := range gab {
+		if !del[e] {
+			t.Fatalf("Gabriel edge %v missing from Delaunay", e)
+		}
+	}
+	if !(len(mst) <= len(rng) && len(rng) <= len(gab) && len(gab) <= len(del)) {
+		t.Fatalf("sizes not nested: %d %d %d %d", len(mst), len(rng), len(gab), len(del))
+	}
+}
+
+func TestRNGBruteForce(t *testing.T) {
+	// Verify the RNG lune condition directly on a small set.
+	pts := generators.UniformCube(120, 2, 12)
+	rng := RelativeNeighborhoodGraph(pts, 1)
+	for _, e := range rng {
+		duv := pts.SqDist(int(e.U), int(e.V))
+		for p := 0; p < pts.Len(); p++ {
+			if int32(p) == e.U || int32(p) == e.V {
+				continue
+			}
+			if pts.SqDist(int(e.U), p) < duv*(1-1e-9) && pts.SqDist(int(e.V), p) < duv*(1-1e-9) {
+				t.Fatalf("edge %v has a closer witness %d", e, p)
+			}
+		}
+	}
+}

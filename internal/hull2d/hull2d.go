@@ -1,0 +1,367 @@
+// Package hull2d implements the paper's 2-dimensional convex hull suite
+// (§3, Fig. 8):
+//
+//   - MonotoneChain — optimized sequential baseline (the role CGAL's
+//     sequential hull plays in the paper's comparison)
+//   - SequentialQuickhull — optimized sequential quickhull (the "Qhull"
+//     baseline)
+//   - Quickhull — parallel recursive quickhull (PBBS-style: parallel
+//     filter + parallel furthest point per subproblem)
+//   - RandInc — the paper's reservation-based parallel randomized
+//     incremental algorithm, specialized to R² (facets are hull edges)
+//   - DivideConquer — the paper's practical divide-and-conquer driver:
+//     split into c·numProc blocks, sequential quickhull per block in
+//     parallel, then a parallel hull of the union of block-hull vertices
+//
+// All entry points return the hull as point indices in counterclockwise
+// order starting from the lexicographically smallest vertex.
+package hull2d
+
+import (
+	"sort"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// MonotoneChain computes the hull with Andrew's monotone chain in
+// O(n log n): the optimized sequential baseline.
+func MonotoneChain(pts geom.Points) []int32 {
+	n := pts.Len()
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts.At(int(idx[a])), pts.At(int(idx[b]))
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	// Deduplicate identical points (hulls of multisets).
+	uniq := idx[:1]
+	for _, i := range idx[1:] {
+		last := pts.At(int(uniq[len(uniq)-1]))
+		p := pts.At(int(i))
+		if p[0] != last[0] || p[1] != last[1] {
+			uniq = append(uniq, i)
+		}
+	}
+	idx = uniq
+	n = len(idx)
+	if n <= 2 {
+		return append([]int32(nil), idx...)
+	}
+	hull := make([]int32, 0, 2*n)
+	// Lower chain.
+	for _, i := range idx {
+		for len(hull) >= 2 &&
+			geom.Cross2D(pts.At(int(hull[len(hull)-2])), pts.At(int(hull[len(hull)-1])), pts.At(int(i))) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	// Upper chain.
+	lower := len(hull) + 1
+	for k := n - 2; k >= 0; k-- {
+		i := idx[k]
+		for len(hull) >= lower &&
+			geom.Cross2D(pts.At(int(hull[len(hull)-2])), pts.At(int(hull[len(hull)-1])), pts.At(int(i))) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	return canonical(hull[:len(hull)-1], pts)
+}
+
+// canonical rotates a CCW vertex cycle to start at the lexicographically
+// smallest vertex, so all algorithms produce comparable output.
+func canonical(h []int32, pts geom.Points) []int32 {
+	if len(h) == 0 {
+		return h
+	}
+	best := 0
+	for i := 1; i < len(h); i++ {
+		a, b := pts.At(int(h[i])), pts.At(int(h[best]))
+		if a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]) {
+			best = i
+		}
+	}
+	out := make([]int32, 0, len(h))
+	out = append(out, h[best:]...)
+	out = append(out, h[:best]...)
+	return out
+}
+
+// extremeXSerial returns the indices of the points with minimum and maximum
+// (x, y) lexicographic order.
+func extremeXSerial(pts geom.Points, idx []int32) (lo, hi int32) {
+	lo, hi = idx[0], idx[0]
+	for _, i := range idx[1:] {
+		p := pts.At(int(i))
+		pl, ph := pts.At(int(lo)), pts.At(int(hi))
+		if p[0] < pl[0] || (p[0] == pl[0] && p[1] < pl[1]) {
+			lo = i
+		}
+		if p[0] > ph[0] || (p[0] == ph[0] && p[1] > ph[1]) {
+			hi = i
+		}
+	}
+	return lo, hi
+}
+
+// extremeX returns the lexicographic extremes with a parallel reduction.
+func extremeX(pts geom.Points, idx []int32) (lo, hi int32) {
+	type pair struct{ lo, hi int32 }
+	lex := func(a, b int32) bool { // a < b
+		pa, pb := pts.At(int(a)), pts.At(int(b))
+		return pa[0] < pb[0] || (pa[0] == pb[0] && pa[1] < pb[1])
+	}
+	r := parlay.Reduce(len(idx), 0, pair{-1, -1},
+		func(i int) pair { return pair{idx[i], idx[i]} },
+		func(a, b pair) pair {
+			if a.lo < 0 {
+				return b
+			}
+			if b.lo < 0 {
+				return a
+			}
+			if lex(b.lo, a.lo) {
+				a.lo = b.lo
+			}
+			if lex(a.hi, b.hi) {
+				a.hi = b.hi
+			}
+			return a
+		})
+	return r.lo, r.hi
+}
+
+// SequentialQuickhull computes the hull with the classic recursive
+// quickhull, processing the point furthest from each edge first: the
+// optimized sequential quickhull baseline ("Qhull" in Fig. 8).
+func SequentialQuickhull(pts geom.Points) []int32 {
+	n := pts.Len()
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	if n <= 2 {
+		return canonical(dedupe(idx, pts), pts)
+	}
+	lo, hi := extremeXSerial(pts, idx)
+	if lo == hi {
+		return []int32{lo} // all points identical
+	}
+	var upper, lower []int32
+	a, b := pts.At(int(lo)), pts.At(int(hi))
+	for _, i := range idx {
+		if i == lo || i == hi {
+			continue
+		}
+		c := geom.Cross2D(a, b, pts.At(int(i)))
+		if c > 0 {
+			upper = append(upper, i)
+		} else if c < 0 {
+			lower = append(lower, i)
+		}
+	}
+	hull := []int32{lo}
+	seqHullRec(pts, lower, lo, hi, &hull) // right of lo->hi: lower chain (CCW)
+	hull = append(hull, hi)
+	seqHullRec(pts, upper, hi, lo, &hull)
+	return canonical(hull, pts)
+}
+
+// seqHullRec appends the hull vertices strictly between a and b (CCW) given
+// cand, the points strictly right of the directed line a->b... by
+// convention here cand holds the points on the outside of edge a->b, i.e.
+// with Cross2D(a, b, p) < 0 when walking the hull counterclockwise.
+func seqHullRec(pts geom.Points, cand []int32, a, b int32, hull *[]int32) {
+	if len(cand) == 0 {
+		return
+	}
+	pa, pb := pts.At(int(a)), pts.At(int(b))
+	// Furthest point from line a-b (most negative cross = farthest outside).
+	far := cand[0]
+	farD := geom.Cross2D(pa, pb, pts.At(int(far)))
+	for _, i := range cand[1:] {
+		if d := geom.Cross2D(pa, pb, pts.At(int(i))); d < farD {
+			far, farD = i, d
+		}
+	}
+	pf := pts.At(int(far))
+	var left, right []int32
+	for _, i := range cand {
+		if i == far {
+			continue
+		}
+		p := pts.At(int(i))
+		if geom.Cross2D(pa, pf, p) < 0 {
+			left = append(left, i)
+		} else if geom.Cross2D(pf, pb, p) < 0 {
+			right = append(right, i)
+		}
+	}
+	seqHullRec(pts, left, a, far, hull)
+	*hull = append(*hull, far)
+	seqHullRec(pts, right, far, b, hull)
+}
+
+func dedupe(idx []int32, pts geom.Points) []int32 {
+	if len(idx) <= 1 {
+		return idx
+	}
+	out := idx[:0:0]
+	for _, i := range idx {
+		dup := false
+		for _, j := range out {
+			a, b := pts.At(int(i)), pts.At(int(j))
+			if a[0] == b[0] && a[1] == b[1] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Quickhull computes the hull with the parallel recursive quickhull used by
+// PBBS (referenced as the R² "QuickHull" in §6.1): each recursive call
+// finds the furthest point with a parallel max-reduction and partitions the
+// candidates with parallel filters; sibling calls run in parallel.
+func Quickhull(pts geom.Points) []int32 {
+	n := pts.Len()
+	if n == 0 {
+		return nil
+	}
+	if n <= 4096 {
+		return SequentialQuickhull(pts)
+	}
+	idx := make([]int32, n)
+	parlay.For(n, 0, func(i int) { idx[i] = int32(i) })
+	lo, hi := extremeX(pts, idx)
+	if lo == hi {
+		return []int32{lo}
+	}
+	pa, pb := pts.At(int(lo)), pts.At(int(hi))
+	upper := parlay.Pack(idx, func(i int) bool {
+		k := idx[i]
+		return k != lo && k != hi && geom.Cross2D(pa, pb, pts.At(int(k))) > 0
+	})
+	lower := parlay.Pack(idx, func(i int) bool {
+		k := idx[i]
+		return k != lo && k != hi && geom.Cross2D(pa, pb, pts.At(int(k))) < 0
+	})
+	var lowHull, upHull []int32
+	parlay.Do(
+		func() { lowHull = parHullRec(pts, lower, lo, hi) },
+		func() { upHull = parHullRec(pts, upper, hi, lo) },
+	)
+	hull := make([]int32, 0, len(lowHull)+len(upHull)+2)
+	hull = append(hull, lo)
+	hull = append(hull, lowHull...)
+	hull = append(hull, hi)
+	hull = append(hull, upHull...)
+	return canonical(hull, pts)
+}
+
+const parHullSeqThreshold = 2048
+
+// parHullRec returns the CCW hull vertices strictly between a and b, given
+// cand = points outside edge a->b (Cross2D(a,b,p) < 0).
+func parHullRec(pts geom.Points, cand []int32, a, b int32) []int32 {
+	if len(cand) == 0 {
+		return nil
+	}
+	if len(cand) <= parHullSeqThreshold {
+		var out []int32
+		seqHullRec(pts, cand, a, b, &out)
+		return out
+	}
+	pa, pb := pts.At(int(a)), pts.At(int(b))
+	fi := parlay.MinIndexFloat(len(cand), 0, func(i int) float64 {
+		return geom.Cross2D(pa, pb, pts.At(int(cand[i])))
+	})
+	far := cand[fi]
+	pf := pts.At(int(far))
+	var left, right []int32
+	parlay.Do(
+		func() {
+			left = parlay.Pack(cand, func(i int) bool {
+				k := cand[i]
+				return k != far && geom.Cross2D(pa, pf, pts.At(int(k))) < 0
+			})
+		},
+		func() {
+			right = parlay.Pack(cand, func(i int) bool {
+				k := cand[i]
+				return k != far && geom.Cross2D(pf, pb, pts.At(int(k))) < 0
+			})
+		},
+	)
+	var lh, rh []int32
+	parlay.Do(
+		func() { lh = parHullRec(pts, left, a, far) },
+		func() { rh = parHullRec(pts, right, far, b) },
+	)
+	out := make([]int32, 0, len(lh)+len(rh)+1)
+	out = append(out, lh...)
+	out = append(out, far)
+	out = append(out, rh...)
+	return out
+}
+
+// DivideConquer computes the hull with the paper's divide-and-conquer
+// strategy (§3 "Parallel Divide-and-Conquer"): partition the input into
+// c·numProc equal blocks, compute each block's hull with the sequential
+// quickhull (blocks in parallel), then compute the hull of the union of the
+// block-hull vertices with the parallel algorithm.
+func DivideConquer(pts geom.Points) []int32 {
+	n := pts.Len()
+	const c = 4
+	numBlocks := c * parlay.NumWorkers()
+	if n < 4096 || numBlocks < 2 {
+		return SequentialQuickhull(pts)
+	}
+	blockSize := (n + numBlocks - 1) / numBlocks
+	subHulls := make([][]int32, numBlocks)
+	parlay.For(numBlocks, 1, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		sub := SequentialQuickhull(pts.Slice(lo, hi))
+		for i := range sub {
+			sub[i] += int32(lo) // back to global indices
+		}
+		subHulls[b] = sub
+	})
+	var union []int32
+	for _, h := range subHulls {
+		union = append(union, h...)
+	}
+	gathered := pts.Gather(union)
+	// The paper computes the final hull of the block-hull vertices with the
+	// reservation-based parallel algorithm.
+	final := ReservationQuickhull(gathered, nil)
+	out := make([]int32, len(final))
+	for i, k := range final {
+		out[i] = union[k]
+	}
+	return out
+}

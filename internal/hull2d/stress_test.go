@@ -1,0 +1,74 @@
+package hull2d
+
+import (
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// TestReservationStress exercises the reservation-based algorithms across
+// many seeds and data shapes, comparing hull vertex sets against the
+// monotone-chain oracle. This is the safety net for the concurrency-
+// critical code path (reservation, boundary relinking, redistribution).
+func TestReservationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shapes := []func(n int, seed uint64) geom.Points{
+		func(n int, s uint64) geom.Points { return generators.UniformCube(n, 2, s) },
+		func(n int, s uint64) geom.Points { return generators.OnSphere(n, 2, s) },
+		func(n int, s uint64) geom.Points { return generators.SeedSpreader(n, 2, s) },
+		func(n int, s uint64) geom.Points { return generators.VisualVar(n, s) },
+	}
+	for shapeID, shape := range shapes {
+		for seed := uint64(0); seed < 6; seed++ {
+			pts := shape(3000, seed*7+1)
+			ref := MonotoneChain(pts)
+			ri := RandInc(pts, seed)
+			rq := ReservationQuickhull(pts, nil)
+			sameVertexSet(ref, ri, pts, t, "randinc")
+			sameVertexSet(ref, rq, pts, t, "resquickhull")
+			isConvexCCW(pts, ri, t)
+			isConvexCCW(pts, rq, t)
+			_ = shapeID
+		}
+	}
+}
+
+// TestQuantizedGridHull: heavy coordinate duplication and collinearity
+// (every point on an integer grid).
+func TestQuantizedGridHull(t *testing.T) {
+	pts := geom.NewPoints(900, 2)
+	k := 0
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			pts.Set(k, []float64{float64(i), float64(j)})
+			k++
+		}
+	}
+	ref := MonotoneChain(pts)
+	if len(ref) != 4 {
+		t.Fatalf("strict grid hull should be the 4 corners, got %d", len(ref))
+	}
+	for _, alg := range algos[1:] {
+		h := alg.f(pts)
+		isConvexCCW(pts, h, t)
+		containsAll(pts, h, t)
+		// The reservation/quickhull variants may keep collinear boundary
+		// points; corners must be present regardless.
+		corners := map[[2]float64]bool{{0, 0}: false, {29, 0}: false, {0, 29}: false, {29, 29}: false}
+		for _, v := range h {
+			p := pts.At(int(v))
+			key := [2]float64{p[0], p[1]}
+			if _, ok := corners[key]; ok {
+				corners[key] = true
+			}
+		}
+		for c, seen := range corners {
+			if !seen {
+				t.Fatalf("%s: corner %v missing", alg.name, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package hull3d
+
+import (
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// TestDivideConquerWithCoplanarBlock: when a divide-and-conquer block is
+// entirely coplanar its sequential sub-hull is degenerate; the driver must
+// keep all of that block's points as candidates so no hull vertex is lost.
+func TestDivideConquerWithCoplanarBlock(t *testing.T) {
+	n := 20000
+	pts := geom.NewPoints(n, 3)
+	// First quarter: a planar grid at z = 0 extending beyond the rest, so
+	// some of its points are true hull vertices.
+	quarter := n / 4
+	for i := 0; i < quarter; i++ {
+		x := float64(i%100) * 2
+		y := float64(i/100) * 2
+		pts.Set(i, []float64{x - 50, y - 50, 0})
+	}
+	// Rest: a small ball far inside the grid's extent.
+	rest := generators.InSphere(n-quarter, 3, 1)
+	for i := 0; i < n-quarter; i++ {
+		p := rest.At(i)
+		pts.Set(quarter+i, []float64{p[0] / 10, p[1] / 10, p[2]/10 + 5})
+	}
+	got := DivideConquer(pts)
+	ref := SequentialQuickhull(pts)
+	checkHull(t, pts, got, "dnc-coplanar-block")
+	if len(Vertices(got)) != len(Vertices(ref)) {
+		t.Fatalf("vertex count %d vs sequential %d", len(Vertices(got)), len(Vertices(ref)))
+	}
+}
+
+// TestPseudoTinyThreshold exercises deep pseudohull recursion.
+func TestPseudoTinyThreshold(t *testing.T) {
+	pts := generators.OnSphere(5000, 3, 2)
+	facets, remaining := PseudoWithStats(pts, 1)
+	checkHull(t, pts, facets, "pseudo-thr1")
+	if remaining <= 0 || remaining > 5000 {
+		t.Fatalf("remaining %d", remaining)
+	}
+	// Against the default threshold the hull must be identical.
+	ref := SequentialQuickhull(pts)
+	if len(Vertices(facets)) != len(Vertices(ref)) {
+		t.Fatalf("threshold changed the hull: %d vs %d vertices",
+			len(Vertices(facets)), len(Vertices(ref)))
+	}
+}
+
+// TestNearlyDegenerateCloud: points in a pancake (tiny z extent) stress
+// the plane-side predicates.
+func TestNearlyDegeneratePancake(t *testing.T) {
+	pts := generators.UniformCube(3000, 3, 3)
+	for i := 0; i < pts.Len(); i++ {
+		pts.At(i)[2] *= 1e-9 // squash z
+	}
+	ref := SequentialQuickhull(pts)
+	if ref == nil {
+		t.Skip("pancake collapsed to exact coplanarity")
+	}
+	for _, alg := range algos3[2:] {
+		facets := alg.f(pts)
+		checkHull(t, pts, facets, "pancake/"+alg.name)
+	}
+}
+
+// TestHullOfHullIdempotent: the hull of the hull vertices is the hull.
+func TestHullOfHullIdempotent(t *testing.T) {
+	pts := generators.InSphere(5000, 3, 4)
+	f1 := Quickhull(pts)
+	vs := Vertices(f1)
+	sub := pts.Gather(vs)
+	f2 := Quickhull(sub)
+	if len(Vertices(f2)) != len(vs) {
+		t.Fatalf("hull of hull has %d vertices, want %d", len(Vertices(f2)), len(vs))
+	}
+}

@@ -1,0 +1,56 @@
+package hull3d
+
+import (
+	"fmt"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func benchSets(n int) []struct {
+	name string
+	pts  geom.Points
+} {
+	return []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"U", generators.UniformCube(n, 3, 1)},
+		{"IS", generators.InSphere(n, 3, 2)},
+		{"statue", generators.Statue(n, 3)},
+	}
+}
+
+func BenchmarkHull3D(b *testing.B) {
+	algs := []struct {
+		name string
+		f    func(geom.Points) [][3]int32
+	}{
+		{"seqQuickhull", SequentialQuickhull},
+		{"quickhull", Quickhull},
+		{"randinc", func(p geom.Points) [][3]int32 { return RandInc(p, 1) }},
+		{"pseudo", Pseudo},
+		{"dnc", DivideConquer},
+	}
+	for _, s := range benchSets(50000) {
+		for _, a := range algs {
+			b.Run(fmt.Sprintf("%s/%s", s.name, a.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					a.f(s.pts)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPseudohullThresholds(b *testing.B) {
+	pts := generators.InSphere(50000, 3, 4)
+	for _, thr := range []int{16, 64, 512} {
+		b.Run(fmt.Sprintf("thr=%d", thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PseudoWithStats(pts, thr)
+			}
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package hull3d
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pargeo/internal/core"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// checkHull validates the full set of 3D hull invariants:
+// containment, edge-manifoldness, Euler's formula, and local convexity.
+func checkHull(t *testing.T, pts geom.Points, facets [][3]int32, label string) {
+	t.Helper()
+	if len(facets) < 4 {
+		t.Fatalf("%s: too few facets: %d", label, len(facets))
+	}
+	// Scale-relative tolerance for containment.
+	box := geom.BoundingBoxAll(pts)
+	diam := math.Sqrt(box.SqDiameter())
+	tol := 1e-9 * diam * diam * diam
+
+	// 1. Containment: no point strictly above any facet.
+	for fi, f := range facets {
+		a, b, c := pts.At(int(f[0])), pts.At(int(f[1])), pts.At(int(f[2]))
+		for i := 0; i < pts.Len(); i++ {
+			if s := geom.PlaneSide3(a, b, c, pts.At(i)); s > tol {
+				t.Fatalf("%s: point %d above facet %d by %g (tol %g)", label, i, fi, s, tol)
+			}
+		}
+	}
+	// 2. Each undirected edge appears in exactly two facets, once per
+	// direction (closed orientable 2-manifold).
+	type dedge struct{ u, w int32 }
+	dir := map[dedge]int{}
+	for _, f := range facets {
+		for e := 0; e < 3; e++ {
+			dir[dedge{f[e], f[(e+1)%3]}]++
+		}
+	}
+	for k, cnt := range dir {
+		if cnt != 1 {
+			t.Fatalf("%s: directed edge %v appears %d times", label, k, cnt)
+		}
+		if dir[dedge{k.w, k.u}] != 1 {
+			t.Fatalf("%s: edge %v missing its reverse", label, k)
+		}
+	}
+	// 3. Euler's formula V - E + F = 2.
+	verts := Vertices(facets)
+	V, E, F := len(verts), len(dir)/2, len(facets)
+	if V-E+F != 2 {
+		t.Fatalf("%s: Euler check failed: V=%d E=%d F=%d", label, V, E, F)
+	}
+}
+
+// hullVolume computes the signed volume via the divergence theorem; equal
+// across algorithms iff they produce the same convex body.
+func hullVolume(pts geom.Points, facets [][3]int32) float64 {
+	vol := 0.0
+	for _, f := range facets {
+		a, b, c := pts.At(int(f[0])), pts.At(int(f[1])), pts.At(int(f[2]))
+		vol += (a[0]*(b[1]*c[2]-b[2]*c[1]) -
+			a[1]*(b[0]*c[2]-b[2]*c[0]) +
+			a[2]*(b[0]*c[1]-b[1]*c[0])) / 6
+	}
+	return vol
+}
+
+var algos3 = []struct {
+	name string
+	f    func(pts geom.Points) [][3]int32
+}{
+	{"SequentialQuickhull", SequentialQuickhull},
+	{"SequentialRandInc", func(p geom.Points) [][3]int32 { return SequentialRandInc(p, 7) }},
+	{"RandInc", func(p geom.Points) [][3]int32 { return RandInc(p, 11) }},
+	{"Quickhull", Quickhull},
+	{"Pseudo", Pseudo},
+	{"DivideConquer", DivideConquer},
+}
+
+func TestHull3DInvariants(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"uniform-2k", generators.UniformCube(2000, 3, 1)},
+		{"insphere-2k", generators.InSphere(2000, 3, 2)},
+		{"onsphere-2k", generators.OnSphere(2000, 3, 3)},
+		{"oncube-2k", generators.OnCube(2000, 3, 4)},
+		{"statue-2k", generators.Statue(2000, 5)},
+	}
+	for _, tc := range cases {
+		var refVol float64
+		for ai, alg := range algos3 {
+			facets := alg.f(tc.pts)
+			checkHull(t, tc.pts, facets, tc.name+"/"+alg.name)
+			vol := hullVolume(tc.pts, facets)
+			if ai == 0 {
+				refVol = vol
+			} else if math.Abs(vol-refVol) > 1e-6*math.Abs(refVol) {
+				t.Fatalf("%s/%s: volume %g differs from reference %g",
+					tc.name, alg.name, vol, refVol)
+			}
+		}
+	}
+}
+
+func TestHull3DLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts := generators.UniformCube(50000, 3, 42)
+	ref := SequentialQuickhull(pts)
+	refVol := hullVolume(pts, ref)
+	for _, alg := range algos3[2:] { // the parallel ones
+		facets := alg.f(pts)
+		checkHull(t, pts, facets, "large/"+alg.name)
+		if vol := hullVolume(pts, facets); math.Abs(vol-refVol) > 1e-6*refVol {
+			t.Fatalf("large/%s: volume %g vs %g", alg.name, vol, refVol)
+		}
+	}
+}
+
+func TestHull3DVertexSetsAgree(t *testing.T) {
+	pts := generators.InSphere(3000, 3, 99)
+	ref := Vertices(SequentialQuickhull(pts))
+	for _, alg := range algos3[1:] {
+		got := Vertices(alg.f(pts))
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d hull vertices, want %d", alg.name, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: vertex sets differ at %d: %d vs %d", alg.name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestHull3DTetrahedron(t *testing.T) {
+	pts := geom.Points{Dim: 3, Data: []float64{
+		0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1,
+		0.1, 0.1, 0.1, 0.2, 0.2, 0.2, // interior points
+	}}
+	for _, alg := range algos3 {
+		facets := alg.f(pts)
+		if len(facets) != 4 {
+			t.Fatalf("%s: tetra should have 4 facets, got %d", alg.name, len(facets))
+		}
+		vs := Vertices(facets)
+		want := []int32{0, 1, 2, 3}
+		for i := range want {
+			if vs[i] != want[i] {
+				t.Fatalf("%s: tetra vertices %v", alg.name, vs)
+			}
+		}
+	}
+}
+
+func TestHull3DDegenerateInputs(t *testing.T) {
+	// Coplanar points: no 3D hull; all algorithms must return nil and not
+	// panic or loop.
+	n := 100
+	pts := geom.NewPoints(n, 3)
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{float64(i % 10), float64(i / 10), 0})
+	}
+	for _, alg := range algos3 {
+		if f := alg.f(pts); f != nil {
+			t.Fatalf("%s: coplanar input should give nil, got %d facets", alg.name, len(f))
+		}
+	}
+	// Collinear.
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{float64(i), float64(2 * i), float64(3 * i)})
+	}
+	for _, alg := range algos3 {
+		if f := alg.f(pts); f != nil {
+			t.Fatalf("%s: collinear input should give nil", alg.name)
+		}
+	}
+	// All identical.
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{1, 2, 3})
+	}
+	for _, alg := range algos3 {
+		if f := alg.f(pts); f != nil {
+			t.Fatalf("%s: identical points should give nil", alg.name)
+		}
+	}
+}
+
+func TestHull3DStatsReservationOverhead(t *testing.T) {
+	// Fig. 12's shape at miniature scale: reservation-based quickhull
+	// touches a comparable number of points/facets to the sequential one
+	// (same asymptotic work).
+	pts := generators.InSphere(20000, 3, 5)
+	var seq, par core.Stats
+	SequentialQuickhullStats(pts, &seq)
+	QuickhullStats(pts, &par)
+	if par.PointsTouched == 0 || seq.PointsTouched == 0 {
+		t.Fatal("stats not collected")
+	}
+	ratio := float64(par.FacetsTouched) / float64(seq.FacetsTouched)
+	if ratio > 10 {
+		t.Fatalf("reservation facet overhead too large: %.1fx (%d vs %d)",
+			ratio, par.FacetsTouched, seq.FacetsTouched)
+	}
+	if par.Successes == 0 || par.Failures < 0 {
+		t.Fatalf("odd reservation stats: %+v", par)
+	}
+}
+
+func TestPseudoPruning(t *testing.T) {
+	// §6.1: after pseudohull pruning, far fewer points remain for uniform
+	// data than for in-sphere data (relative to input size).
+	u := generators.UniformCube(30000, 3, 6)
+	_, remU := PseudoWithStats(u, 64)
+	is := generators.InSphere(30000, 3, 7)
+	_, remIS := PseudoWithStats(is, 64)
+	if remU >= 30000/2 {
+		t.Fatalf("pseudohull pruned almost nothing on uniform data: %d / 30000", remU)
+	}
+	if remIS <= remU {
+		t.Fatalf("expected more survivors on in-sphere (%d) than uniform (%d)", remIS, remU)
+	}
+}
+
+func TestVerticesSortedUnique(t *testing.T) {
+	f := [][3]int32{{3, 1, 2}, {2, 1, 0}, {3, 2, 0}, {1, 3, 0}}
+	v := Vertices(f)
+	if !sort.SliceIsSorted(v, func(i, j int) bool { return v[i] < v[j] }) {
+		t.Fatalf("not sorted: %v", v)
+	}
+	if len(v) != 4 {
+		t.Fatalf("want 4 unique, got %v", v)
+	}
+}

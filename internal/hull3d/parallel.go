@@ -1,0 +1,223 @@
+package hull3d
+
+import (
+	"pargeo/internal/core"
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// This file implements the paper's reservation-based parallel incremental
+// convex hull in R³ (§3, Fig. 5). Per round:
+//
+//  1. select a batch of visible points (a prefix of the random permutation
+//     for RandInc; per-facet furthest points for the quickhull flavor);
+//  2. each batch point BFSes its visible facet set from its one stored
+//     facet and reserves — via WriteMin of its priority — every visible
+//     facet *and* every horizon-adjacent boundary facet (boundary facets
+//     have their neighbor pointers rewired by the insertion, so two points
+//     with touching horizons must not commit in the same round; this also
+//     rules out the reflex artifacts Stein et al.'s GPU quickhull suffers
+//     from, discussed in Appendix A);
+//  3. points that hold all their reservations win;
+//  4. winners delete their visible facets, build the horizon cone, and
+//     redistribute the points stored on the dead facets — all in parallel,
+//     with no locks, because winners' facet neighborhoods are disjoint.
+//
+// Rounds repeat until no visible points remain. The smallest-priority
+// point in every batch always wins all of its writes, so at least one
+// point commits per round and the algorithm terminates.
+
+type visInfo struct {
+	vis      []int32
+	boundary []int32
+}
+
+// round executes one reserve/check/commit round for the given batch.
+func (h *hullState3) round(batch []int32) {
+	h.stats.AddRound()
+	h.stats.AddPoints(int64(len(batch)))
+	infos := make([]visInfo, len(batch))
+	// Phase 1: BFS + reservation.
+	parlay.For(len(batch), 1, func(k int) {
+		q := batch[k]
+		vis, boundary := h.visibleSet(q)
+		infos[k] = visInfo{vis, boundary}
+		h.stats.AddFacets(int64(len(vis)))
+		h.stats.AddReservations(int64(len(vis) + len(boundary)))
+		p := h.prio[q]
+		for _, f := range vis {
+			h.res.Reserve(int(f), p)
+		}
+		for _, f := range boundary {
+			h.res.Reserve(int(f), p)
+		}
+	})
+	// Phase 2: check.
+	success := make([]bool, len(batch))
+	parlay.For(len(batch), 1, func(k int) {
+		q := batch[k]
+		p := h.prio[q]
+		ok := true
+		for _, f := range infos[k].vis {
+			if !h.res.Holds(int(f), p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, f := range infos[k].boundary {
+				if !h.res.Holds(int(f), p) {
+					ok = false
+					break
+				}
+			}
+		}
+		success[k] = ok
+		if ok {
+			h.stats.AddSuccess()
+		} else {
+			h.stats.AddFailure()
+		}
+	})
+	// Phase 3: commit. Horizon sizes are data dependent, so compute each
+	// winner's ridge list first, then allocate contiguous facet storage
+	// with a scan.
+	winnerIdx := parlay.PackIndex(len(batch), func(k int) bool { return success[k] })
+	ridgesOf := make([][]ridge, len(winnerIdx))
+	parlay.For(len(winnerIdx), 1, func(w int) {
+		info := infos[winnerIdx[w]]
+		isVis := make(map[int32]bool, len(info.vis))
+		for _, f := range info.vis {
+			isVis[f] = true
+		}
+		ridgesOf[w] = h.horizonOf(info.vis, func(f int32) bool { return isVis[f] })
+	})
+	counts := make([]int, len(winnerIdx))
+	for w := range counts {
+		counts[w] = len(ridgesOf[w])
+	}
+	totalNew := parlay.ScanInts(counts) // counts becomes exclusive offsets
+	base := int32(len(h.facets))
+	h.facets = append(h.facets, make([]facet, totalNew)...)
+	h.res.Grow(len(h.facets))
+	h.stats.AddAlloc(int64(totalNew))
+	parlay.For(len(winnerIdx), 1, func(w int) {
+		k := int(winnerIdx[w])
+		h.addCone(batch[k], infos[k].vis, ridgesOf[w], base+int32(counts[w]))
+	})
+	// Release surviving reservations.
+	parlay.For(len(batch), 1, func(k int) {
+		for _, f := range infos[k].vis {
+			if !h.facets[f].dead {
+				h.res.Release(int(f))
+			}
+		}
+		for _, f := range infos[k].boundary {
+			if !h.facets[f].dead {
+				h.res.Release(int(f))
+			}
+		}
+	})
+	// Refresh the alive list.
+	newAlive := make([]int32, totalNew)
+	parlay.For(totalNew, 0, func(i int) { newAlive[i] = base + int32(i) })
+	h.alive = append(parlay.Pack(h.alive, func(i int) bool { return !h.facets[h.alive[i]].dead }), newAlive...)
+}
+
+// RandInc computes the hull with the reservation-based parallel randomized
+// incremental algorithm (§3 + Appendix A: per round, a prefix of
+// c·numProc visible points of the random permutation attempts insertion).
+func RandInc(pts geom.Points, seed uint64) [][3]int32 {
+	return RandIncStats(pts, seed, nil)
+}
+
+// RandIncStats is RandInc with instrumentation for Fig. 12.
+func RandIncStats(pts geom.Points, seed uint64, stats *core.Stats) [][3]int32 {
+	n := pts.Len()
+	h, ok := newHullState3(pts, stats)
+	if !ok {
+		return nil
+	}
+	perm := parlay.RandomPermutation(n, seed)
+	parlay.For(n, 0, func(k int) { h.prio[perm[k]] = int64(k) })
+	P := parlay.Pack(perm, func(k int) bool { return h.seed[perm[k]] >= 0 })
+	batch := core.BatchSize(8)
+	for len(P) > 0 {
+		q := P
+		if len(q) > batch {
+			q = P[:batch]
+		}
+		h.round(q)
+		P = parlay.Pack(P, func(i int) bool { return h.seed[P[i]] >= 0 })
+	}
+	return h.extract()
+}
+
+// Quickhull computes the hull with the reservation-based parallel quickhull
+// (§3 + Appendix A: per round, the points furthest from up to c·numProc
+// facets attempt insertion). When the number of facets is low it processes
+// a single point per round, chosen from the facet with the most visible
+// points (Appendix B's low-facet-count optimization, which maximizes the
+// volume added per step while parallelism is unavailable anyway).
+func Quickhull(pts geom.Points) [][3]int32 {
+	return QuickhullStats(pts, nil)
+}
+
+// QuickhullStats is Quickhull with instrumentation for Fig. 12.
+func QuickhullStats(pts geom.Points, stats *core.Stats) [][3]int32 {
+	h, ok := newHullState3(pts, stats)
+	if !ok {
+		return nil
+	}
+	n := pts.Len()
+	parlay.For(n, 0, func(i int) { h.prio[i] = int64(i) })
+	batch := core.BatchSize(8)
+	for {
+		q := h.furthestBatch(batch)
+		if len(q) == 0 {
+			break
+		}
+		h.round(q)
+	}
+	return h.extract()
+}
+
+// furthestBatch returns, for up to r alive facets with assigned points, the
+// point furthest above that facet. Facets with the most points first.
+// With fewer than minFacetsForBatch candidate facets it returns a single
+// point from the facet with the most visible points.
+const minFacetsForBatch = 4
+
+func (h *hullState3) furthestBatch(r int) []int32 {
+	nonEmpty := parlay.Pack(h.alive, func(i int) bool {
+		f := &h.facets[h.alive[i]]
+		return !f.dead && len(f.pts) > 0
+	})
+	if len(nonEmpty) == 0 {
+		return nil
+	}
+	if len(nonEmpty) < minFacetsForBatch {
+		best := nonEmpty[0]
+		for _, fi := range nonEmpty[1:] {
+			if len(h.facets[fi].pts) > len(h.facets[best].pts) {
+				best = fi
+			}
+		}
+		return []int32{h.furthestOf(best)}
+	}
+	if len(nonEmpty) > r {
+		parlay.Sort(nonEmpty, func(x, y int32) bool {
+			lx, ly := len(h.facets[x].pts), len(h.facets[y].pts)
+			if lx != ly {
+				return lx > ly
+			}
+			return x < y
+		})
+		nonEmpty = nonEmpty[:r]
+	}
+	out := make([]int32, len(nonEmpty))
+	parlay.For(len(nonEmpty), 4, func(k int) {
+		out[k] = h.furthestOf(nonEmpty[k])
+	})
+	return out
+}

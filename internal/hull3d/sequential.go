@@ -1,0 +1,99 @@
+package hull3d
+
+import (
+	"pargeo/internal/core"
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// insertOne adds one visible point to the hull sequentially: BFS the
+// visible set, extract the horizon, and replace the visible region with the
+// cone. Shared by the sequential drivers (and counts work for Fig. 12).
+func (h *hullState3) insertOne(q int32) {
+	vis, _ := h.visibleSet(q)
+	h.stats.AddPoints(1)
+	h.stats.AddFacets(int64(len(vis)))
+	isVis := make(map[int32]bool, len(vis))
+	for _, f := range vis {
+		isVis[f] = true
+	}
+	ridges := h.horizonOf(vis, func(f int32) bool { return isVis[f] })
+	base := int32(len(h.facets))
+	h.facets = append(h.facets, make([]facet, len(ridges))...)
+	h.res.Grow(len(h.facets))
+	h.stats.AddAlloc(int64(len(ridges)))
+	h.addCone(q, vis, ridges, base)
+}
+
+// furthestOf returns the point of facet fi's list furthest above its plane.
+func (h *hullState3) furthestOf(fi int32) int32 {
+	f := &h.facets[fi]
+	a, b, c := h.pts.At(int(f.v[0])), h.pts.At(int(f.v[1])), h.pts.At(int(f.v[2]))
+	best, bestD := f.pts[0], -1.0
+	for _, p := range f.pts {
+		if d := geom.PlaneSide3(a, b, c, h.pts.At(int(p))); d > bestD || (d == bestD && p < best) {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// SequentialQuickhull is the optimized sequential 3D quickhull (the "Qhull"
+// baseline of Fig. 9 and the no-reservation arm of Fig. 12): repeatedly
+// take a facet with unprocessed visible points and insert the point
+// furthest above it.
+func SequentialQuickhull(pts geom.Points) [][3]int32 {
+	return SequentialQuickhullStats(pts, nil)
+}
+
+// SequentialQuickhullStats is SequentialQuickhull with instrumentation.
+func SequentialQuickhullStats(pts geom.Points, stats *core.Stats) [][3]int32 {
+	h, ok := newHullState3(pts, stats)
+	if !ok {
+		return nil // degenerate (planar) input: no 3D hull
+	}
+	// Work-stack of facet ids that may have points.
+	stack := append([]int32(nil), h.alive...)
+	for len(stack) > 0 {
+		fi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f := &h.facets[fi]
+		if f.dead || len(f.pts) == 0 {
+			continue
+		}
+		q := h.furthestOf(fi)
+		before := len(h.facets)
+		h.insertOne(q)
+		h.stats.AddSuccess()
+		for k := before; k < len(h.facets); k++ {
+			if len(h.facets[k].pts) > 0 {
+				stack = append(stack, int32(k))
+			}
+		}
+		// fi may still be alive with leftover points if q's visible set did
+		// not include it — cannot happen (q came from fi's list, so fi is
+		// visible to q and died). Its points were redistributed above.
+	}
+	return h.extract()
+}
+
+// SequentialRandInc is the sequential randomized incremental hull (Clarkson
+// & Shor order, one point per step): the second sequential baseline (the
+// role CGAL's incremental hull plays in Fig. 9's comparison).
+func SequentialRandInc(pts geom.Points, seed uint64) [][3]int32 {
+	h, ok := newHullState3(pts, nil)
+	if !ok {
+		return nil
+	}
+	perm := parlay.RandomPermutation(pts.Len(), seed)
+	for _, q := range perm {
+		if h.seed[q] < 0 {
+			continue // already interior or on hull
+		}
+		// The stored facet may have died since assignment; points are
+		// redistributed eagerly on every insertion, so seed is always a
+		// live visible facet here.
+		h.insertOne(q)
+	}
+	return h.extract()
+}

@@ -1,0 +1,496 @@
+// Package kdtree implements ParGeo's static parallel kd-tree (Module 1):
+// parallel construction with object-median or spatial-median splits,
+// exact k-nearest-neighbor search with the paper's 2k quickselect buffer,
+// and orthogonal range search. The tree also exposes its node structure
+// (bounding boxes, children, subtree point ranges), which the WSPD, EMST,
+// and bichromatic-closest-pair modules traverse directly.
+//
+// Construction follows §2 and Appendix C.1: split along the widest
+// dimension of the node's bounding box, either at the object median (median
+// point coordinate, via quickselect) or the spatial median (midpoint of the
+// box extent); recursion on the two sides proceeds in parallel until
+// subtrees are small. Points are never copied: the tree permutes a single
+// index array, and each node owns a contiguous range of it.
+//
+// On layout: the paper stores BDL-tree nodes in the cache-oblivious van
+// Emde Boas order (Appendix C.1.1). The general tree here uses DFS
+// (preorder) layout, which is also contiguous and cache-friendly for the
+// traversals ParGeo performs; the BDL static trees additionally provide the
+// vEB index permutation (see bdltree/veb.go) to reproduce Algorithm 1.
+package kdtree
+
+import (
+	"math"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+var inf = math.Inf(1)
+
+// MaxDim is the largest supported dimensionality (the paper evaluates up to
+// 7 dimensions; boxes are stored inline for allocation-free nodes).
+const MaxDim = 8
+
+// SplitRule selects the node-splitting heuristic (§6.3: "splitting the
+// points based on either using the object median ... or the spatial
+// median").
+type SplitRule int
+
+const (
+	// ObjectMedian splits at the median point coordinate along the widest
+	// dimension: balanced trees, higher build cost.
+	ObjectMedian SplitRule = iota
+	// SpatialMedian splits at the midpoint of the bounding-box extent:
+	// cheaper splits, possibly unbalanced trees.
+	SpatialMedian
+)
+
+func (s SplitRule) String() string {
+	if s == ObjectMedian {
+		return "object"
+	}
+	return "spatial"
+}
+
+// Options configure tree construction.
+type Options struct {
+	Split    SplitRule
+	LeafSize int // max points per leaf; default 16
+	Serial   bool
+}
+
+// Node is a kd-tree node. Leaves have Left == nil and own the index range
+// [Lo, Hi) of Tree.Idx; internal nodes carry the split plane. Every node
+// (incl. internal) owns its subtree's contiguous range [Lo, Hi).
+type Node struct {
+	MinC, MaxC  [MaxDim]float64 // bounding box (first Dim entries valid)
+	Left, Right *Node
+	Lo, Hi      int32
+	SplitVal    float64
+	SplitDim    int8
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (nd *Node) IsLeaf() bool { return nd.Left == nil }
+
+// Size returns the number of points in the node's subtree.
+func (nd *Node) Size() int { return int(nd.Hi - nd.Lo) }
+
+// Tree is a static kd-tree over an externally owned point buffer.
+type Tree struct {
+	Pts  geom.Points
+	Idx  []int32 // permutation of the point indices; leaves own ranges
+	Root *Node
+	opts Options
+}
+
+// Build constructs a kd-tree over all points in pts.
+func Build(pts geom.Points, opts Options) *Tree {
+	n := pts.Len()
+	idx := make([]int32, n)
+	parlay.For(n, 0, func(i int) { idx[i] = int32(i) })
+	return BuildIndexed(pts, idx, opts)
+}
+
+// BuildIndexed constructs a kd-tree over the subset of pts given by idx.
+// The tree takes ownership of idx and permutes it in place.
+func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
+	if pts.Dim > MaxDim {
+		panic("kdtree: dimension exceeds MaxDim")
+	}
+	if opts.LeafSize <= 0 {
+		opts.LeafSize = 16
+	}
+	t := &Tree{Pts: pts, Idx: idx, opts: opts}
+	if len(idx) > 0 {
+		t.Root = t.build(0, int32(len(idx)), !opts.Serial)
+	}
+	return t
+}
+
+// parallelBuildThreshold: below this many points a subtree builds serially.
+const parallelBuildThreshold = 4096
+
+func (t *Tree) build(lo, hi int32, par bool) *Node {
+	nd := &Node{Lo: lo, Hi: hi}
+	t.computeBox(nd, par)
+	n := int(hi - lo)
+	if n <= t.opts.LeafSize {
+		return nd
+	}
+	dim := widestDim(nd, t.Pts.Dim)
+	var mid int32
+	switch t.opts.Split {
+	case SpatialMedian:
+		splitVal := (nd.MinC[dim] + nd.MaxC[dim]) / 2
+		mid = t.partition(lo, hi, dim, splitVal)
+		if mid == lo || mid == hi {
+			// Degenerate spatial split (all points on one side): fall back
+			// to the object median so progress is guaranteed.
+			mid = lo + int32(n/2)
+			t.nthElement(lo, hi, mid, dim)
+		}
+		nd.SplitVal = splitVal
+	default: // ObjectMedian
+		mid = lo + int32(n/2)
+		t.nthElement(lo, hi, mid, dim)
+		nd.SplitVal = t.Pts.Coord(int(t.Idx[mid]), dim)
+	}
+	nd.SplitDim = int8(dim)
+	childPar := par && n > parallelBuildThreshold
+	if childPar {
+		parlay.Do(
+			func() { nd.Left = t.build(lo, mid, true) },
+			func() { nd.Right = t.build(mid, hi, true) },
+		)
+	} else {
+		nd.Left = t.build(lo, mid, false)
+		nd.Right = t.build(mid, hi, false)
+	}
+	return nd
+}
+
+// computeBox fills the node's bounding box over its index range.
+func (t *Tree) computeBox(nd *Node, par bool) {
+	dim := t.Pts.Dim
+	for c := 0; c < dim; c++ {
+		nd.MinC[c] = inf
+		nd.MaxC[c] = -inf
+	}
+	n := int(nd.Hi - nd.Lo)
+	if par && n > 1<<16 {
+		type boxAcc struct{ mn, mx [MaxDim]float64 }
+		id := boxAcc{}
+		for c := 0; c < dim; c++ {
+			id.mn[c] = inf
+			id.mx[c] = -inf
+		}
+		acc := parlay.Reduce(n, 0, id,
+			func(i int) boxAcc {
+				var a boxAcc
+				p := t.Pts.At(int(t.Idx[nd.Lo+int32(i)]))
+				for c := 0; c < dim; c++ {
+					a.mn[c], a.mx[c] = p[c], p[c]
+				}
+				for c := dim; c < MaxDim; c++ {
+					a.mn[c], a.mx[c] = inf, -inf
+				}
+				return a
+			},
+			func(a, b boxAcc) boxAcc {
+				for c := 0; c < dim; c++ {
+					a.mn[c] = math.Min(a.mn[c], b.mn[c])
+					a.mx[c] = math.Max(a.mx[c], b.mx[c])
+				}
+				return a
+			})
+		nd.MinC, nd.MaxC = acc.mn, acc.mx
+		return
+	}
+	for i := nd.Lo; i < nd.Hi; i++ {
+		p := t.Pts.At(int(t.Idx[i]))
+		for c := 0; c < dim; c++ {
+			if p[c] < nd.MinC[c] {
+				nd.MinC[c] = p[c]
+			}
+			if p[c] > nd.MaxC[c] {
+				nd.MaxC[c] = p[c]
+			}
+		}
+	}
+}
+
+func widestDim(nd *Node, dim int) int {
+	best, bw := 0, nd.MaxC[0]-nd.MinC[0]
+	for c := 1; c < dim; c++ {
+		if w := nd.MaxC[c] - nd.MinC[c]; w > bw {
+			best, bw = c, w
+		}
+	}
+	return best
+}
+
+// partition reorders Idx[lo:hi] so points with coord < splitVal precede the
+// rest; returns the boundary.
+func (t *Tree) partition(lo, hi int32, dim int, splitVal float64) int32 {
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && t.Pts.Coord(int(t.Idx[i]), dim) < splitVal {
+			i++
+		}
+		for i <= j && t.Pts.Coord(int(t.Idx[j]), dim) >= splitVal {
+			j--
+		}
+		if i < j {
+			t.Idx[i], t.Idx[j] = t.Idx[j], t.Idx[i]
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+// nthElement quickselects Idx[lo:hi] so Idx[kth] has rank kth-lo by the
+// given coordinate (ties broken by index for determinism).
+func (t *Tree) nthElement(lo, hi, kth int32, dim int) {
+	key := func(i int32) float64 { return t.Pts.Coord(int(t.Idx[i]), dim) }
+	for hi-lo > 1 {
+		mid := (lo + hi - 1) / 2
+		// Median-of-three.
+		if key(mid) < key(lo) {
+			t.Idx[mid], t.Idx[lo] = t.Idx[lo], t.Idx[mid]
+		}
+		if key(hi-1) < key(lo) {
+			t.Idx[hi-1], t.Idx[lo] = t.Idx[lo], t.Idx[hi-1]
+		}
+		if key(hi-1) < key(mid) {
+			t.Idx[hi-1], t.Idx[mid] = t.Idx[mid], t.Idx[hi-1]
+		}
+		pivot := key(mid)
+		i, j := lo, hi-1
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				t.Idx[i], t.Idx[j] = t.Idx[j], t.Idx[i]
+				i++
+				j--
+			}
+		}
+		if kth <= j {
+			hi = j + 1
+		} else if kth >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Points returns the point indices stored in the node's subtree.
+func (t *Tree) Points(nd *Node) []int32 { return t.Idx[nd.Lo:nd.Hi] }
+
+// --- k-nearest neighbors ----------------------------------------------
+
+// KNN returns, for each query point index in queries, its k nearest
+// neighbors among the tree's points (by index into Pts), excluding the
+// query point itself when it is part of the tree. Queries run data-parallel
+// (§5 "Data-Parallel k-NN"). Result row i occupies out[i*k : i*k+counts[i]].
+func (t *Tree) KNN(queries []int32, k int) [][]int32 {
+	out := make([][]int32, len(queries))
+	parlay.ForBlocked(len(queries), 64, func(lo, hi int) {
+		buf := NewKNNBuffer(k)
+		for i := lo; i < hi; i++ {
+			buf.Reset()
+			q := int(queries[i])
+			t.KNNInto(t.Pts.At(q), int32(q), buf)
+			out[i] = buf.Result(nil)
+		}
+	})
+	return out
+}
+
+// KNNInto runs a single k-NN query for coordinates q into buf (which the
+// caller Reset()s between unrelated queries but deliberately reuses across
+// the multiple trees of a BDL-tree). exclude is a point index to skip (-1
+// for none).
+func (t *Tree) KNNInto(q []float64, exclude int32, buf *KNNBuffer) {
+	if t.Root != nil {
+		t.knnRec(t.Root, q, exclude, buf)
+	}
+}
+
+func (t *Tree) knnRec(nd *Node, q []float64, exclude int32, buf *KNNBuffer) {
+	if nd.IsLeaf() {
+		for i := nd.Lo; i < nd.Hi; i++ {
+			id := t.Idx[i]
+			if id == exclude {
+				continue
+			}
+			buf.Insert(id, geom.SqDist(q, t.Pts.At(int(id))))
+		}
+		return
+	}
+	// Descend into the nearer child first.
+	near, far := nd.Left, nd.Right
+	if q[nd.SplitDim] >= nd.SplitVal {
+		near, far = far, near
+	}
+	t.knnRec(near, q, exclude, buf)
+	// Paper heuristic (C.1.3): if the buffer is not yet full, eagerly visit
+	// the sibling to establish a pruning bound as fast as possible;
+	// otherwise prune by box distance.
+	if !buf.Full() || boxSqDist(far, q, t.Pts.Dim) < buf.Bound() {
+		t.knnRec(far, q, exclude, buf)
+	}
+}
+
+func boxSqDist(nd *Node, q []float64, dim int) float64 {
+	s := 0.0
+	for c := 0; c < dim; c++ {
+		if v := q[c]; v < nd.MinC[c] {
+			d := nd.MinC[c] - v
+			s += d * d
+		} else if v > nd.MaxC[c] {
+			d := v - nd.MaxC[c]
+			s += d * d
+		}
+	}
+	return s
+}
+
+func boxMaxSqDist(nd *Node, q []float64, dim int) float64 {
+	s := 0.0
+	for c := 0; c < dim; c++ {
+		d := math.Max(math.Abs(q[c]-nd.MinC[c]), math.Abs(q[c]-nd.MaxC[c]))
+		s += d * d
+	}
+	return s
+}
+
+// --- range search -------------------------------------------------------
+
+// RangeSearch returns the indices of all points inside the closed box.
+func (t *Tree) RangeSearch(box geom.Box) []int32 {
+	var out []int32
+	if t.Root != nil {
+		t.rangeRec(t.Root, box, &out)
+	}
+	return out
+}
+
+// RangeCount returns the number of points inside the closed box.
+func (t *Tree) RangeCount(box geom.Box) int {
+	cnt := 0
+	if t.Root != nil {
+		t.rangeCountRec(t.Root, box, &cnt)
+	}
+	return cnt
+}
+
+func (t *Tree) nodeBoxIn(nd *Node, box geom.Box) (inside, disjoint bool) {
+	inside, disjoint = true, false
+	for c := 0; c < t.Pts.Dim; c++ {
+		if nd.MaxC[c] < box.Min[c] || nd.MinC[c] > box.Max[c] {
+			return false, true
+		}
+		if nd.MinC[c] < box.Min[c] || nd.MaxC[c] > box.Max[c] {
+			inside = false
+		}
+	}
+	return inside, false
+}
+
+func (t *Tree) rangeRec(nd *Node, box geom.Box, out *[]int32) {
+	inside, disjoint := t.nodeBoxIn(nd, box)
+	if disjoint {
+		return
+	}
+	if inside {
+		*out = append(*out, t.Idx[nd.Lo:nd.Hi]...)
+		return
+	}
+	if nd.IsLeaf() {
+		for i := nd.Lo; i < nd.Hi; i++ {
+			if box.Contains(t.Pts.At(int(t.Idx[i]))) {
+				*out = append(*out, t.Idx[i])
+			}
+		}
+		return
+	}
+	t.rangeRec(nd.Left, box, out)
+	t.rangeRec(nd.Right, box, out)
+}
+
+func (t *Tree) rangeCountRec(nd *Node, box geom.Box, cnt *int) {
+	inside, disjoint := t.nodeBoxIn(nd, box)
+	if disjoint {
+		return
+	}
+	if inside {
+		*cnt += nd.Size()
+		return
+	}
+	if nd.IsLeaf() {
+		for i := nd.Lo; i < nd.Hi; i++ {
+			if box.Contains(t.Pts.At(int(t.Idx[i]))) {
+				*cnt++
+			}
+		}
+		return
+	}
+	t.rangeCountRec(nd.Left, box, cnt)
+	t.rangeCountRec(nd.Right, box, cnt)
+}
+
+// RangeSearchParallel answers many box queries data-parallel.
+func (t *Tree) RangeSearchParallel(boxes []geom.Box) [][]int32 {
+	out := make([][]int32, len(boxes))
+	parlay.For(len(boxes), 16, func(i int) {
+		out[i] = t.RangeSearch(boxes[i])
+	})
+	return out
+}
+
+// --- node geometry helpers used by WSPD / BCCP --------------------------
+
+// NodeSqDist returns the squared distance between the bounding boxes of two
+// nodes (possibly from different trees over buffers of equal dimension).
+func NodeSqDist(a, b *Node, dim int) float64 {
+	s := 0.0
+	for c := 0; c < dim; c++ {
+		var d float64
+		if b.MaxC[c] < a.MinC[c] {
+			d = a.MinC[c] - b.MaxC[c]
+		} else if a.MaxC[c] < b.MinC[c] {
+			d = b.MinC[c] - a.MaxC[c]
+		}
+		s += d * d
+	}
+	return s
+}
+
+// NodeMaxSqDist returns the squared distance between the farthest corners
+// of two nodes' boxes.
+func NodeMaxSqDist(a, b *Node, dim int) float64 {
+	s := 0.0
+	for c := 0; c < dim; c++ {
+		d := math.Max(b.MaxC[c]-a.MinC[c], a.MaxC[c]-b.MinC[c])
+		s += d * d
+	}
+	return s
+}
+
+// NodeSqDiameter returns the squared diagonal length of the node's box.
+func NodeSqDiameter(nd *Node, dim int) float64 {
+	s := 0.0
+	for c := 0; c < dim; c++ {
+		d := nd.MaxC[c] - nd.MinC[c]
+		s += d * d
+	}
+	return s
+}
+
+// Height returns the height of the tree (1 for a single leaf).
+func (t *Tree) Height() int {
+	var rec func(nd *Node) int
+	rec = func(nd *Node) int {
+		if nd == nil {
+			return 0
+		}
+		if nd.IsLeaf() {
+			return 1
+		}
+		l, r := rec(nd.Left), rec(nd.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return rec(t.Root)
+}

@@ -1,0 +1,75 @@
+package kdtree
+
+import (
+	"fmt"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	for _, dim := range []int{2, 5} {
+		for _, split := range []SplitRule{ObjectMedian, SpatialMedian} {
+			pts := generators.UniformCube(100000, dim, uint64(dim))
+			b.Run(fmt.Sprintf("d=%d/%s", dim, split), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					Build(pts, Options{Split: split})
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKNNQuery(b *testing.B) {
+	for _, dim := range []int{2, 5, 7} {
+		pts := generators.UniformCube(100000, dim, uint64(dim))
+		t := Build(pts, Options{})
+		b.Run(fmt.Sprintf("d=%d/k=5", dim), func(b *testing.B) {
+			buf := NewKNNBuffer(5)
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				q := i % pts.Len()
+				t.KNNInto(pts.At(q), int32(q), buf)
+			}
+		})
+	}
+}
+
+func BenchmarkKNNBatch(b *testing.B) {
+	pts := generators.UniformCube(100000, 2, 9)
+	t := Build(pts, Options{})
+	queries := make([]int32, pts.Len())
+	for i := range queries {
+		queries[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.KNN(queries, 5)
+	}
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	pts := generators.UniformCube(100000, 3, 10)
+	t := Build(pts, Options{})
+	boxes := make([]geom.Box, 256)
+	for i := range boxes {
+		c := pts.At(i * 390)
+		bx := geom.EmptyBox(3)
+		bx.Expand([]float64{c[0] - 6, c[1] - 6, c[2] - 6})
+		bx.Expand([]float64{c[0] + 6, c[1] + 6, c[2] + 6})
+		boxes[i] = bx
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.RangeSearchParallel(boxes)
+	}
+}
+
+func BenchmarkKNNBufferInsert(b *testing.B) {
+	buf := NewKNNBuffer(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Insert(int32(i), float64((i*2654435761)&0xffff))
+	}
+}

@@ -1,0 +1,146 @@
+package kdtree
+
+// KNNBuffer is the paper's "k-NN buffer" (Appendix C.1.3): a bounded buffer
+// that maintains the k nearest neighbors seen so far with amortized O(1)
+// inserts. It holds up to 2k candidates; when full, a selection partition
+// around the k-th smallest distance discards the far half. The partition is
+// O(k) and runs once per k inserts, giving the amortized constant bound.
+type KNNBuffer struct {
+	k     int
+	ids   []int32
+	dists []float64
+	n     int     // live candidates in the buffer
+	bound float64 // current upper bound on the k-th nearest distance
+}
+
+// NewKNNBuffer returns a buffer for k neighbors.
+func NewKNNBuffer(k int) *KNNBuffer {
+	return &KNNBuffer{
+		k:     k,
+		ids:   make([]int32, 2*k),
+		dists: make([]float64, 2*k),
+		bound: inf,
+	}
+}
+
+// Reset clears the buffer for reuse on a new query.
+func (b *KNNBuffer) Reset() {
+	b.n = 0
+	b.bound = inf
+}
+
+// K returns the configured neighbor count.
+func (b *KNNBuffer) K() int { return b.k }
+
+// Full reports whether at least k candidates have been collected.
+func (b *KNNBuffer) Full() bool { return b.n >= b.k }
+
+// Bound returns the current upper bound on the k-th nearest squared
+// distance (+inf until k candidates have been seen). Used for subtree
+// pruning.
+func (b *KNNBuffer) Bound() float64 {
+	if b.n < b.k {
+		return inf
+	}
+	return b.bound
+}
+
+// Insert offers candidate id at squared distance d.
+func (b *KNNBuffer) Insert(id int32, d float64) {
+	if d >= b.bound {
+		return
+	}
+	b.ids[b.n] = id
+	b.dists[b.n] = d
+	b.n++
+	if b.n == len(b.ids) {
+		b.compact()
+	}
+}
+
+// compact partitions the buffer around the k-th smallest distance and drops
+// everything beyond it.
+func (b *KNNBuffer) compact() {
+	b.selectK(0, b.n-1, b.k-1)
+	b.n = b.k
+	b.bound = 0
+	for i := 0; i < b.k; i++ {
+		if b.dists[i] > b.bound {
+			b.bound = b.dists[i]
+		}
+	}
+}
+
+// selectK performs in-place quickselect so that position kth holds the
+// element of rank kth by distance.
+func (b *KNNBuffer) selectK(lo, hi, kth int) {
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if b.dists[mid] < b.dists[lo] {
+			b.swap(mid, lo)
+		}
+		if b.dists[hi] < b.dists[lo] {
+			b.swap(hi, lo)
+		}
+		if b.dists[hi] < b.dists[mid] {
+			b.swap(hi, mid)
+		}
+		pivot := b.dists[mid]
+		i, j := lo, hi
+		for i <= j {
+			for b.dists[i] < pivot {
+				i++
+			}
+			for b.dists[j] > pivot {
+				j--
+			}
+			if i <= j {
+				b.swap(i, j)
+				i++
+				j--
+			}
+		}
+		if kth <= j {
+			hi = j
+		} else if kth >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+func (b *KNNBuffer) swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.dists[i], b.dists[j] = b.dists[j], b.dists[i]
+}
+
+// Result appends the k nearest candidate ids (sorted by increasing
+// distance) to dst and returns it. Fewer than k are returned when fewer
+// candidates were inserted.
+func (b *KNNBuffer) Result(dst []int32) []int32 {
+	m := b.n
+	if m > b.k {
+		b.compact()
+		m = b.k
+	}
+	// Insertion sort by distance: m <= k is small.
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && b.dists[j] < b.dists[j-1]; j-- {
+			b.swap(j, j-1)
+		}
+	}
+	return append(dst, b.ids[:m]...)
+}
+
+// KthDist returns the exact k-th nearest squared distance collected so far
+// (+inf if fewer than k candidates). Unlike Bound — which may be stale
+// between compactions and is only an upper bound for pruning — KthDist
+// compacts first, so it is exact.
+func (b *KNNBuffer) KthDist() float64 {
+	if b.n > b.k {
+		b.compact()
+	}
+	return b.Bound()
+}

@@ -1,0 +1,83 @@
+// Package morton implements ParGeo's Morton (Z-order) spatial sort
+// (Module 2): quantize each coordinate to b = floor(64/d) bits over the
+// data bounding box, interleave the bits into a 64-bit code, and sort by
+// code with the parallel radix sort. Morton order places spatially nearby
+// points nearby in memory and is the standard preprocessing step for
+// spatial locality (the paper's §6.3 discusses its role in the Zd-tree).
+package morton
+
+import (
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// BitsPerDim returns the number of quantization bits used per dimension for
+// a d-dimensional code.
+func BitsPerDim(dim int) int {
+	if dim <= 0 {
+		panic("morton: non-positive dimension")
+	}
+	b := 64 / dim
+	if b > 21 {
+		b = 21 // 3x21 = 63 bits is the conventional cap; finer adds nothing
+	}
+	return b
+}
+
+// Encode computes the Morton code of coordinates p inside box (coordinates
+// are clamped to the box).
+func Encode(p []float64, box geom.Box) uint64 {
+	dim := len(p)
+	bits := BitsPerDim(dim)
+	maxCell := uint64(1)<<bits - 1
+	var code uint64
+	for c := 0; c < dim; c++ {
+		ext := box.Max[c] - box.Min[c]
+		var cell uint64
+		if ext > 0 {
+			f := (p[c] - box.Min[c]) / ext
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
+			cell = uint64(f * float64(maxCell))
+			if cell > maxCell {
+				cell = maxCell
+			}
+		}
+		// Interleave: bit k of cell goes to position k*dim + c.
+		for k := 0; k < bits; k++ {
+			code |= ((cell >> uint(k)) & 1) << uint(k*dim+c)
+		}
+	}
+	return code
+}
+
+// Codes computes the Morton code of every point, in parallel.
+func Codes(pts geom.Points) []uint64 {
+	n := pts.Len()
+	box := geom.BoundingBoxAll(pts)
+	codes := make([]uint64, n)
+	parlay.For(n, 512, func(i int) {
+		codes[i] = Encode(pts.At(i), box)
+	})
+	return codes
+}
+
+// Sort returns the point indices in Morton order (parallel radix sort on
+// the codes).
+func Sort(pts geom.Points) []int32 {
+	n := pts.Len()
+	codes := Codes(pts)
+	idx := make([]int32, n)
+	parlay.For(n, 0, func(i int) { idx[i] = int32(i) })
+	parlay.SortPairs(codes, idx)
+	return idx
+}
+
+// SortPoints returns a new point buffer with the points permuted into
+// Morton order.
+func SortPoints(pts geom.Points) geom.Points {
+	return pts.Gather(Sort(pts))
+}

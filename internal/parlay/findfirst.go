@@ -1,0 +1,43 @@
+package parlay
+
+import "sync/atomic"
+
+// FindFirst returns the smallest i in [0, n) with pred(i), or -1. It scans
+// prefixes of doubling size, each prefix in parallel with an atomic
+// min-index accumulator, so the work is proportional to the position of the
+// first match (times a constant) rather than to n — the primitive behind
+// the parallel Welzl algorithm's earliest-violator search (Blelloch et
+// al.'s prefix doubling).
+func FindFirst(n int, pred func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	const firstBlock = 1024
+	lo := 0
+	size := firstBlock
+	for lo < n {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		var found int64 = int64(n)
+		ForBlocked(hi-lo, firstBlock/4, func(blo, bhi int) {
+			for i := blo; i < bhi; i++ {
+				gi := lo + i
+				if int64(gi) >= atomic.LoadInt64(&found) {
+					return // a smaller match already exists
+				}
+				if pred(gi) {
+					WriteMin(&found, int64(gi))
+					return
+				}
+			}
+		})
+		if found < int64(n) {
+			return int(found)
+		}
+		lo = hi
+		size *= 2
+	}
+	return -1
+}

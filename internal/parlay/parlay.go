@@ -1,0 +1,375 @@
+// Package parlay is this library's substitute for ParlayLib, the fork-join
+// parallel-primitives toolkit that ParGeo builds on. It provides the small
+// set of primitives every ParGeo module uses:
+//
+//   - parallel loops with grain control (For, ForBlocked)
+//   - parallel reductions (Reduce, MinIndex, MaxIndexFloat)
+//   - parallel prefix sums (ScanInts)
+//   - parallel filtering/packing (Pack, PackIndex, Filter)
+//   - parallel comparison sort (Sort) and radix sort for 64-bit keys (sortkeys.go)
+//   - atomic priority writes (WriteMin/WriteMax) — the "reservation"
+//     primitive from the paper's convex-hull algorithm
+//   - deterministic random permutation (Shuffle)
+//
+// ParlayLib uses a Cilk-style work-stealing scheduler with nested fork-join.
+// Go has no such scheduler, so parallel loops here fan out a bounded number
+// of goroutines (O(P), chosen from the grain size) over block ranges, and
+// divide-and-conquer code forks goroutines up to a depth limit. The Go
+// runtime multiplexes these onto GOMAXPROCS threads, which approximates
+// dynamic load balancing at a modest constant-factor overhead (this is the
+// "some overhead" the reproduction notes anticipate).
+//
+// Every primitive degrades to its sequential form when the input is below
+// the grain size or when only one worker is available, so single-thread runs
+// pay almost nothing for parallel readiness.
+package parlay
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pargeo/internal/rng"
+)
+
+// DefaultGrain is the default minimum number of loop iterations assigned to
+// one task. Chosen so that per-task goroutine overhead (~1µs) is well under
+// 1% of task runtime for cheap loop bodies.
+const DefaultGrain = 2048
+
+// NumWorkers returns the number of parallel workers used by this package:
+// the current GOMAXPROCS setting.
+func NumWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for each i in [0, n) in parallel, with at least grain
+// iterations per task. If grain <= 0, DefaultGrain is used. body must be
+// safe to call concurrently for distinct i.
+func For(n, grain int, body func(i int)) {
+	ForBlocked(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForBlocked runs body(lo, hi) over a partition of [0, n) into contiguous
+// blocks of at least grain iterations, in parallel across blocks. It is the
+// workhorse loop: block form lets bodies keep per-block locals (partial
+// sums, local buffers) without false sharing.
+func ForBlocked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := NumWorkers()
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	// Up to 4 blocks per worker so the runtime can balance uneven bodies.
+	nblocks := min(4*p, (n+grain-1)/grain)
+	if nblocks <= 1 {
+		body(0, n)
+		return
+	}
+	blockSize := (n + nblocks - 1) / nblocks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += blockSize {
+		hi := min(lo+blockSize, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks in parallel and waits for all of them. It is the
+// binary/n-ary fork-join join point used by divide-and-conquer algorithms.
+func Do(thunks ...func()) {
+	if len(thunks) == 0 {
+		return
+	}
+	if len(thunks) == 1 || NumWorkers() == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range thunks[1:] {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	thunks[0]()
+	wg.Wait()
+}
+
+// Reduce computes merge over f(i) for i in [0, n) in parallel.
+// id is the identity of merge. merge must be associative.
+func Reduce[T any](n, grain int, id T, f func(i int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return id
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := NumWorkers()
+	if p == 1 || n <= grain {
+		acc := id
+		for i := 0; i < n; i++ {
+			acc = merge(acc, f(i))
+		}
+		return acc
+	}
+	nblocks := min(4*p, (n+grain-1)/grain)
+	blockSize := (n + nblocks - 1) / nblocks
+	partial := make([]T, 0, nblocks)
+	var bounds [][2]int
+	for lo := 0; lo < n; lo += blockSize {
+		partial = append(partial, id)
+		bounds = append(bounds, [2]int{lo, min(lo+blockSize, n)})
+	}
+	var wg sync.WaitGroup
+	for b := range bounds {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			acc := id
+			for i := bounds[b][0]; i < bounds[b][1]; i++ {
+				acc = merge(acc, f(i))
+			}
+			partial[b] = acc
+		}(b)
+	}
+	wg.Wait()
+	acc := id
+	for _, v := range partial {
+		acc = merge(acc, v)
+	}
+	return acc
+}
+
+// SumInt returns the parallel sum of f(i) over [0, n).
+func SumInt(n, grain int, f func(i int) int) int {
+	return Reduce(n, grain, 0, f, func(a, b int) int { return a + b })
+}
+
+// Count returns the number of i in [0, n) for which pred(i) holds.
+func Count(n, grain int, pred func(i int) bool) int {
+	return SumInt(n, grain, func(i int) int {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// MaxIndexFloat returns the index i in [0, n) maximizing key(i), or -1 when
+// n == 0. Ties resolve to the smallest index, so the result is deterministic
+// regardless of worker count (the paper's "parallel maximum-finding
+// routine", used by quickhull and the pivoting SEB heuristic).
+func MaxIndexFloat(n, grain int, key func(i int) float64) int {
+	type im struct {
+		idx int
+		val float64
+	}
+	r := Reduce(n, grain, im{-1, 0},
+		func(i int) im { return im{i, key(i)} },
+		func(a, b im) im {
+			if a.idx < 0 {
+				return b
+			}
+			if b.idx < 0 {
+				return a
+			}
+			if b.val > a.val || (b.val == a.val && b.idx < a.idx) {
+				return b
+			}
+			return a
+		})
+	return r.idx
+}
+
+// MinIndexFloat returns the index minimizing key(i), or -1 when n == 0.
+func MinIndexFloat(n, grain int, key func(i int) float64) int {
+	return MaxIndexFloat(n, grain, func(i int) float64 { return -key(i) })
+}
+
+// ScanInts replaces in with its exclusive prefix sum and returns the total.
+// Two-pass blocked scan: per-block sums, sequential scan of the (few) block
+// sums, then per-block local scans — O(n) work, two parallel sweeps.
+func ScanInts(in []int) int {
+	n := len(in)
+	if n == 0 {
+		return 0
+	}
+	p := NumWorkers()
+	if p == 1 || n <= 2*DefaultGrain {
+		total := 0
+		for i := 0; i < n; i++ {
+			v := in[i]
+			in[i] = total
+			total += v
+		}
+		return total
+	}
+	nblocks := min(4*p, (n+DefaultGrain-1)/DefaultGrain)
+	blockSize := (n + nblocks - 1) / nblocks
+	sums := make([]int, nblocks)
+	ForBlocked(nblocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			s := 0
+			for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
+				s += in[i]
+			}
+			sums[b] = s
+		}
+	})
+	total := 0
+	for b := 0; b < nblocks; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	ForBlocked(nblocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			acc := sums[b]
+			for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
+				v := in[i]
+				in[i] = acc
+				acc += v
+			}
+		}
+	})
+	return total
+}
+
+// PackIndex returns, in order, all indices i in [0, n) for which keep(i) is
+// true. This is the paper's "ParallelPack" (Fig. 5, line 17): flags -> scan
+// -> scatter.
+func PackIndex(n int, keep func(i int) bool) []int32 {
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	For(n, 0, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ScanInts(flags)
+	out := make([]int32, total)
+	For(n, 0, func(i int) {
+		if keep(i) {
+			out[flags[i]] = int32(i)
+		}
+	})
+	return out
+}
+
+// Pack returns the elements of in whose keep flag is true, preserving order.
+func Pack[T any](in []T, keep func(i int) bool) []T {
+	n := len(in)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	For(n, 0, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ScanInts(flags)
+	out := make([]T, total)
+	For(n, 0, func(i int) {
+		if keep(i) {
+			out[flags[i]] = in[i]
+		}
+	})
+	return out
+}
+
+// Filter returns the elements of in satisfying pred, preserving order.
+func Filter[T any](in []T, pred func(v T) bool) []T {
+	return Pack(in, func(i int) bool { return pred(in[i]) })
+}
+
+// WriteMin atomically sets *addr = min(*addr, val) and reports whether val
+// became the stored minimum. This is the priority write from Shun et al.
+// used for the paper's facet reservations: concurrent writers race, the
+// smallest value (highest priority) wins deterministically.
+func WriteMin(addr *int64, val int64) bool {
+	for {
+		old := atomic.LoadInt64(addr)
+		if old <= val {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, old, val) {
+			return true
+		}
+	}
+}
+
+// WriteMax atomically sets *addr = max(*addr, val) and reports whether val
+// became the stored maximum.
+func WriteMax(addr *int64, val int64) bool {
+	for {
+		old := atomic.LoadInt64(addr)
+		if old >= val {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, old, val) {
+			return true
+		}
+	}
+}
+
+// WriteMinFloat64 atomically lowers *addr (interpreted through bits as a
+// non-negative float64) to val if val is smaller. Only valid for
+// non-negative values, whose IEEE-754 bit patterns order like the floats.
+func WriteMinFloat64(addr *uint64, val float64) bool {
+	bits := floatBits(val)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old <= bits {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, bits) {
+			return true
+		}
+	}
+}
+
+// Shuffle randomly permutes s in place, deterministically from seed
+// (Fisher–Yates; sequential — permutation generation is never a measured
+// bottleneck in the reproduced experiments).
+func Shuffle[T any](s []T, seed uint64) {
+	r := rng.NewXoshiro256(seed)
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// RandomPermutation returns a random permutation of [0, n), deterministic
+// from seed.
+func RandomPermutation(n int, seed uint64) []int32 {
+	p := make([]int32, n)
+	For(n, 0, func(i int) { p[i] = int32(i) })
+	Shuffle(p, seed)
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package parlay
+
+import (
+	"sort"
+	"testing"
+)
+
+func BenchmarkFor(b *testing.B) {
+	n := 1 << 20
+	dst := make([]int64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(n, 0, func(j int) { dst[j] = int64(j) * 3 })
+	}
+}
+
+func BenchmarkReduceSum(b *testing.B) {
+	n := 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumInt(n, 0, func(j int) int { return j & 7 })
+	}
+}
+
+func BenchmarkScanInts(b *testing.B) {
+	n := 1 << 20
+	in := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range in {
+			in[j] = j & 15
+		}
+		ScanInts(in)
+	}
+}
+
+func BenchmarkPackIndex(b *testing.B) {
+	n := 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackIndex(n, func(j int) bool { return j%3 == 0 })
+	}
+}
+
+func BenchmarkSortRandom(b *testing.B) {
+	n := 1 << 18
+	src := make([]int, n)
+	for i := range src {
+		src[i] = (i * 2654435761) & 0xffffff
+	}
+	work := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		Sort(work, func(a, c int) bool { return a < c })
+	}
+}
+
+func BenchmarkStdlibSortBaseline(b *testing.B) {
+	n := 1 << 18
+	src := make([]int, n)
+	for i := range src {
+		src[i] = (i * 2654435761) & 0xffffff
+	}
+	work := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		sort.Ints(work)
+	}
+}
+
+func BenchmarkRadixSortPairs(b *testing.B) {
+	n := 1 << 18
+	srcK := make([]uint64, n)
+	srcV := make([]int32, n)
+	for i := range srcK {
+		srcK[i] = uint64(i*2654435761) & 0xffffffffff
+		srcV[i] = int32(i)
+	}
+	k := make([]uint64, n)
+	v := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(k, srcK)
+		copy(v, srcV)
+		SortPairs(k, v)
+	}
+}
+
+func BenchmarkWriteMinContended(b *testing.B) {
+	var slot int64 = 1 << 62
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(1 << 61)
+		for pb.Next() {
+			WriteMin(&slot, i)
+			i--
+		}
+	})
+}
+
+func BenchmarkFindFirst(b *testing.B) {
+	n := 1 << 20
+	target := n / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindFirst(n, func(j int) bool { return j >= target })
+	}
+}

@@ -1,0 +1,115 @@
+// Package ptio reads and writes point sets in the two formats the tools
+// use: CSV (one comma-separated point per line, human-readable, the format
+// pargeo-gen emits) and a compact little-endian binary format
+// ("PGEO" magic, dim, count, then raw float64 coordinates) for fast
+// round-tripping of large data sets.
+package ptio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pargeo/internal/geom"
+)
+
+// WriteCSV writes one point per line, coordinates separated by commas.
+func WriteCSV(w io.Writer, pts geom.Points) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	buf := make([]byte, 0, 64)
+	for i := 0; i < pts.Len(); i++ {
+		p := pts.At(i)
+		buf = buf[:0]
+		for c, v := range p {
+			if c > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("ptio: write csv: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads points from CSV; every line must have the same number of
+// coordinates. Blank lines and lines starting with '#' are skipped.
+func ReadCSV(r io.Reader) (geom.Points, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var data []float64
+	dim := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if dim == 0 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return geom.Points{}, fmt.Errorf("ptio: line %d has %d fields, want %d", line, len(fields), dim)
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return geom.Points{}, fmt.Errorf("ptio: line %d: %w", line, err)
+			}
+			data = append(data, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return geom.Points{}, fmt.Errorf("ptio: read csv: %w", err)
+	}
+	return geom.Points{Data: data, Dim: dim}, nil
+}
+
+const binaryMagic = "PGEO"
+
+// WriteBinary writes the compact binary format.
+func WriteBinary(w io.Writer, pts geom.Points) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("ptio: write binary: %w", err)
+	}
+	hdr := [2]uint64{uint64(pts.Dim), uint64(pts.Len())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return fmt.Errorf("ptio: write binary header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, pts.Data); err != nil {
+		return fmt.Errorf("ptio: write binary data: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads the compact binary format.
+func ReadBinary(r io.Reader) (geom.Points, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return geom.Points{}, fmt.Errorf("ptio: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return geom.Points{}, fmt.Errorf("ptio: bad magic %q", magic)
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return geom.Points{}, fmt.Errorf("ptio: read header: %w", err)
+	}
+	dim, n := int(hdr[0]), int(hdr[1])
+	if dim <= 0 || dim > 64 || n < 0 {
+		return geom.Points{}, fmt.Errorf("ptio: implausible header dim=%d n=%d", dim, n)
+	}
+	data := make([]float64, dim*n)
+	if err := binary.Read(br, binary.LittleEndian, data); err != nil {
+		return geom.Points{}, fmt.Errorf("ptio: read data: %w", err)
+	}
+	return geom.Points{Data: data, Dim: dim}, nil
+}

@@ -1,0 +1,108 @@
+package ptio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := generators.UniformCube(500, 3, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != pts.Len() || got.Dim != 3 {
+		t.Fatalf("shape %dx%d", got.Len(), got.Dim)
+	}
+	for i := range pts.Data {
+		if got.Data[i] != pts.Data[i] {
+			t.Fatalf("coordinate %d: %v vs %v", i, got.Data[i], pts.Data[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	pts := generators.UniformCube(2000, 5, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2000 || got.Dim != 5 {
+		t.Fatalf("shape %dx%d", got.Len(), got.Dim)
+	}
+	for i := range pts.Data {
+		if got.Data[i] != pts.Data[i] {
+			t.Fatalf("coordinate %d differs", i)
+		}
+	}
+}
+
+func TestCSVCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n1,2\n\n3,4\n# trailing\n"
+	pts, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts.Len() != 2 || pts.Coord(1, 1) != 4 {
+		t.Fatalf("parsed %+v", pts)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,abc\n")); err == nil {
+		t.Fatal("non-numeric should error")
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXX")); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := ReadBinary(strings.NewReader("PG")); err == nil {
+		t.Fatal("truncated magic should error")
+	}
+	// Truncated data.
+	pts := geom.Points{Dim: 2, Data: []float64{1, 2, 3, 4}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated data should error")
+	}
+}
+
+func TestSpecialValuesCSV(t *testing.T) {
+	pts := geom.Points{Dim: 2, Data: []float64{
+		0.1, -3.5e-12, 1e300, -0.0,
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts.Data {
+		if got.Data[i] != pts.Data[i] {
+			t.Fatalf("value %d: %v vs %v", i, got.Data[i], pts.Data[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package rng provides fast, deterministic, splittable pseudo-random number
+// generators used throughout the library for data generation, random
+// permutations, and randomized algorithms (Welzl, randomized incremental
+// constructions).
+//
+// The generators are not cryptographically secure. They are chosen for
+// reproducibility (fixed seed -> fixed stream, independent of GOMAXPROCS)
+// and for the ability to cheaply derive independent per-worker streams,
+// which is what a parallel library needs.
+package rng
+
+import "math"
+
+// SplitMix64 is the seeding/stream-splitting generator from Steele et al.
+// It has a 64-bit state and passes BigCrush; one Next64 call is a few
+// arithmetic instructions, making it suitable for hashing indices into
+// random values inside parallel loops.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next64 advances the state and returns the next 64-bit value.
+func (s *SplitMix64) Next64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 mixes x through the SplitMix64 finalizer. It is a stateless,
+// high-quality 64-bit mixer: Hash64(seed+i) yields an i.i.d.-looking stream,
+// which lets parallel loops draw "random" values from their loop index with
+// no shared state and no contention.
+func Hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 is xoshiro256** by Blackman and Vigna: a small, fast generator
+// with 256 bits of state, used where a stream (rather than an index hash)
+// is more convenient.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 seeds the state using SplitMix64, per the authors'
+// recommendation.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next64()
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next64 returns the next 64-bit value.
+func (x *Xoshiro256) Next64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method. It is used by the clustered data generators.
+func (x *Xoshiro256) NormFloat64() float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (x *Xoshiro256) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(x.Next64() % uint64(n))
+}
+
+// Jump creates an independent stream by seeding a new generator from this
+// one; used to hand each parallel worker its own generator.
+func (x *Xoshiro256) Jump() *Xoshiro256 {
+	return NewXoshiro256(x.Next64())
+}
+
+// UniformFloat64 maps a 64-bit hash to [0, 1).
+func UniformFloat64(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

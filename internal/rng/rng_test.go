@@ -1,0 +1,87 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(7)
+	b := NewSplitMix64(7)
+	for i := 0; i < 100; i++ {
+		if a.Next64() != b.Next64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestHash64Stateless(t *testing.T) {
+	if Hash64(42) != Hash64(42) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(42) == Hash64(43) {
+		t.Fatal("adjacent inputs collide")
+	}
+}
+
+func TestXoshiroUniformity(t *testing.T) {
+	// Coarse uniformity: bucket 100k floats into 10 bins.
+	x := NewXoshiro256(123)
+	bins := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		bins[int(f*10)]++
+	}
+	for b, c := range bins {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bin %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := NewXoshiro256(99)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v", variance)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := NewXoshiro256(5)
+	for i := 0; i < 10000; i++ {
+		v := x.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestJumpIndependence(t *testing.T) {
+	x := NewXoshiro256(1)
+	y := x.Jump()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if x.Next64() == y.Next64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("jumped stream correlates: %d matches", same)
+	}
+}

@@ -1,0 +1,62 @@
+package seb
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+func TestSEB7D(t *testing.T) {
+	// The paper evaluates up to 7D; verify all algorithms agree there.
+	pts := generators.UniformCube(5000, 7, 71)
+	ref := WelzlSequential(pts, 1, Heuristics{MTF: true})
+	checkEnclosing(t, pts, ref, "7d/ref")
+	for _, alg := range sebAlgos[1:] {
+		got := alg.f(pts)
+		checkEnclosing(t, pts, got, "7d/"+alg.name)
+		if relDiff(got.SqRadius, ref.SqRadius) > 1e-7 {
+			t.Fatalf("7d %s: r²=%.12g want %.12g", alg.name, got.SqRadius, ref.SqRadius)
+		}
+	}
+}
+
+func TestSEBSupportOnBoundary(t *testing.T) {
+	// The optimal ball's support points lie exactly on its boundary; find
+	// them and verify they determine the same ball.
+	pts := generators.InSphere(3000, 3, 72)
+	b := Welzl(pts, 1, Heuristics{MTF: true})
+	var support []int32
+	for i := 0; i < pts.Len(); i++ {
+		d := b.SqDistTo(pts.At(i))
+		if math.Abs(d-b.SqRadius) <= b.SqRadius*1e-9 {
+			support = append(support, int32(i))
+		}
+	}
+	if len(support) < 2 || len(support) > 6 {
+		t.Fatalf("odd support size %d", len(support))
+	}
+	sub := pts.Gather(support)
+	b2 := WelzlSequential(sub, 1, Heuristics{})
+	if relDiff(b2.SqRadius, b.SqRadius) > 1e-9 {
+		t.Fatalf("support does not determine the ball: %g vs %g", b2.SqRadius, b.SqRadius)
+	}
+}
+
+func TestSEBTranslationInvariance(t *testing.T) {
+	pts := generators.UniformCube(2000, 3, 73)
+	b1 := Sampling(pts, 1)
+	shifted := geom.NewPoints(pts.Len(), 3)
+	for i := 0; i < pts.Len(); i++ {
+		p := pts.At(i)
+		shifted.Set(i, []float64{p[0] + 1000, p[1] - 500, p[2] + 42})
+	}
+	b2 := Sampling(shifted, 1)
+	if relDiff(b1.SqRadius, b2.SqRadius) > 1e-9 {
+		t.Fatalf("radius not translation invariant: %g vs %g", b1.SqRadius, b2.SqRadius)
+	}
+	if math.Abs(b2.Center[0]-b1.Center[0]-1000) > 1e-6 {
+		t.Fatalf("center did not translate: %v vs %v", b2.Center, b1.Center)
+	}
+}

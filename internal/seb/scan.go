@@ -1,0 +1,247 @@
+package seb
+
+import (
+	"math"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// This file implements Larsson et al.'s iterative orthant scan (§4) and the
+// paper's sampling-based bootstrap for it (Fig. 6).
+//
+// One orthant-scan pass partitions space into 2^min(d,6) orthants around
+// the current ball center and finds, per orthant, the furthest point lying
+// outside the ball. The pass is parallelized exactly as the paper
+// describes: the input is divided into blocks, each block scanned
+// sequentially, blocks in parallel, and the per-block orthant extrema
+// merged afterwards. The ball is then recomputed as the exact smallest
+// ball of the current support set plus the new extrema (constructBall).
+
+// maxOrthantBits caps the orthant count at 2^6 = 64 for high dimensions.
+const maxOrthantBits = 6
+
+// scanResult carries per-orthant extrema from one scan.
+type scanResult struct {
+	ids   []int32   // per orthant: furthest outside point (-1 none)
+	dists []float64 // per orthant: its squared distance
+}
+
+func (r *scanResult) hasOutlier() bool {
+	for _, id := range r.ids {
+		if id >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// orthantScanPass scans the points with ids idx against ball b.
+func orthantScanPass(pts geom.Points, idx []int32, b *Ball) scanResult {
+	bits := pts.Dim
+	if bits > maxOrthantBits {
+		bits = maxOrthantBits
+	}
+	numOrth := 1 << bits
+	merge := func(a, c scanResult) scanResult {
+		for o := 0; o < numOrth; o++ {
+			if c.ids[o] >= 0 && (a.ids[o] < 0 || c.dists[o] > a.dists[o]) {
+				a.ids[o] = c.ids[o]
+				a.dists[o] = c.dists[o]
+			}
+		}
+		return a
+	}
+	fresh := func() scanResult {
+		r := scanResult{ids: make([]int32, numOrth), dists: make([]float64, numOrth)}
+		for o := range r.ids {
+			r.ids[o] = -1
+		}
+		return r
+	}
+	n := len(idx)
+	p := parlay.NumWorkers()
+	nblocks := 4 * p
+	if nblocks > n/1024+1 {
+		nblocks = n/1024 + 1
+	}
+	blockSize := (n + nblocks - 1) / nblocks
+	partial := make([]scanResult, nblocks)
+	parlay.For(nblocks, 1, func(blk int) {
+		r := fresh()
+		lo, hi := blk*blockSize, (blk+1)*blockSize
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			p := pts.At(int(idx[i]))
+			d := b.SqDistTo(p)
+			if d <= b.SqRadius*(1+containsEps) {
+				continue
+			}
+			o := 0
+			for c := 0; c < bits; c++ {
+				if p[c] >= b.Center[c] {
+					o |= 1 << c
+				}
+			}
+			if r.ids[o] < 0 || d > r.dists[o] {
+				r.ids[o] = idx[i]
+				r.dists[o] = d
+			}
+		}
+		partial[blk] = r
+	})
+	acc := fresh()
+	for _, r := range partial {
+		if r.ids != nil {
+			acc = merge(acc, r)
+		}
+	}
+	return acc
+}
+
+// boundarySupport returns the candidate points lying (numerically) on the
+// ball boundary — the support carried into the next iteration.
+func boundarySupport(pts geom.Points, b *Ball, candidates []int32) []int32 {
+	var out []int32
+	for _, c := range candidates {
+		d := b.SqDistTo(pts.At(int(c)))
+		if math.Abs(d-b.SqRadius) <= b.SqRadius*1e-9 {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 && len(candidates) > 0 {
+		out = candidates[:1]
+	}
+	return out
+}
+
+// constructBall recomputes the exact smallest ball of a small candidate set
+// (support ∪ extrema), per Fig. 6's constructBall.
+func constructBall(pts geom.Points, candidates []int32) Ball {
+	return sebOfSmall(pts, candidates)
+}
+
+// maxScanIterations bounds the orthant-scan loop; on the paper's inputs the
+// loop converges in a handful of iterations, and the bound only guards
+// against floating-point livelock (the fallback recomputes exactly with
+// Welzl).
+const maxScanIterations = 200
+
+// initialBall seeds the iteration: the ball over the two points spanning
+// the widest distance from the first point (a cheap diameter estimate).
+func initialBall(pts geom.Points, idx []int32) (Ball, []int32) {
+	p0 := idx[0]
+	fi := parlay.MaxIndexFloat(len(idx), 0, func(i int) float64 {
+		return pts.SqDist(int(p0), int(idx[i]))
+	})
+	p1 := idx[fi]
+	support := []int32{p0, p1}
+	b, ok := ballOf(pts, support)
+	if !ok { // identical points
+		b, _ = ballOf(pts, support[:1])
+		support = support[:1]
+	}
+	return b, support
+}
+
+// scanLoop runs orthant-scan iterations over idx until no outliers remain,
+// returning the exact ball (falling back to Welzl if progress stalls).
+func scanLoop(pts geom.Points, idx []int32, b Ball, support []int32) Ball {
+	for iter := 0; iter < maxScanIterations; iter++ {
+		res := orthantScanPass(pts, idx, &b)
+		if !res.hasOutlier() {
+			return b // enclosing and equal to SEB of its support: optimal
+		}
+		cand := append([]int32(nil), support...)
+		for _, id := range res.ids {
+			if id >= 0 {
+				cand = append(cand, id)
+			}
+		}
+		nb := constructBall(pts, cand)
+		if nb.SqRadius <= b.SqRadius*(1+1e-14) && iter > 0 {
+			// No radius progress: floating-point stall. Fall back to the
+			// exact parallel Welzl for a guaranteed answer.
+			sub := pts.Gather(idx)
+			return Welzl(sub, 0xfa11bac, Heuristics{MTF: true})
+		}
+		b = nb
+		support = boundarySupport(pts, &b, cand)
+	}
+	sub := pts.Gather(idx)
+	return Welzl(sub, 0xfa11bac, Heuristics{MTF: true})
+}
+
+// OrthantScan computes the smallest enclosing ball with Larsson et al.'s
+// parallel iterative orthant scan ("Scan" in Fig. 10).
+func OrthantScan(pts geom.Points) Ball {
+	n := pts.Len()
+	if n == 0 {
+		return Ball{Dim: pts.Dim}
+	}
+	idx := make([]int32, n)
+	parlay.For(n, 0, func(i int) { idx[i] = int32(i) })
+	b, support := initialBall(pts, idx)
+	return scanLoop(pts, idx, b, support)
+}
+
+// SampleSegment is the constant sample-segment size of the sampling phase
+// (Fig. 6's batch size c).
+const SampleSegment = 4096
+
+// Sampling computes the smallest enclosing ball with the paper's
+// sampling-based algorithm (Fig. 6): bootstrap the support set from
+// constant-size random samples until a sample arrives with no outliers,
+// then finish with full orthant scans.
+func Sampling(pts geom.Points, seed uint64) Ball {
+	b, _ := SamplingStats(pts, seed)
+	return b
+}
+
+// SamplingStats additionally reports the fraction of the input scanned
+// during the sampling phase (§6.2 reports ~5% on average).
+func SamplingStats(pts geom.Points, seed uint64) (Ball, float64) {
+	n := pts.Len()
+	if n == 0 {
+		return Ball{Dim: pts.Dim}, 0
+	}
+	perm := parlay.RandomPermutation(n, seed)
+	b, support := initialBall(pts, perm[:min(n, 64)])
+	// Sampling phase: scan one unseen constant-size segment at a time
+	// (equivalent to a random sample); stop when a sample has no outliers.
+	scanned := 0
+	for scanned < n {
+		hi := scanned + SampleSegment
+		if hi > n {
+			hi = n
+		}
+		seg := perm[scanned:hi]
+		scanned = hi
+		res := orthantScanPass(pts, seg, &b)
+		if !res.hasOutlier() {
+			break // the current ball already covers a fresh random sample
+		}
+		cand := append([]int32(nil), support...)
+		for _, id := range res.ids {
+			if id >= 0 {
+				cand = append(cand, id)
+			}
+		}
+		b = constructBall(pts, cand)
+		support = boundarySupport(pts, &b, cand)
+	}
+	frac := float64(scanned) / float64(n)
+	// Final phase: full orthant scans until exact.
+	idx := make([]int32, n)
+	parlay.For(n, 0, func(i int) { idx[i] = int32(i) })
+	return scanLoop(pts, idx, b, support), frac
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

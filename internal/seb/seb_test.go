@@ -1,0 +1,243 @@
+package seb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// bruteSEB is an O(n^4)-ish oracle: try all support sets of size 2 and 3
+// (and 4 in 3D) and return the smallest ball containing everything.
+func bruteSEB(pts geom.Points) Ball {
+	n := pts.Len()
+	best := Ball{Dim: pts.Dim, SqRadius: math.Inf(1)}
+	try := func(support []int32) {
+		b, ok := ballOf(pts, support)
+		if !ok || b.SqRadius >= best.SqRadius {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !b.Contains(pts.At(i)) {
+				return
+			}
+		}
+		best = b
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			try([]int32{int32(i), int32(j)})
+			for k := j + 1; k < n; k++ {
+				try([]int32{int32(i), int32(j), int32(k)})
+				if pts.Dim >= 3 {
+					for l := k + 1; l < n; l++ {
+						try([]int32{int32(i), int32(j), int32(k), int32(l)})
+					}
+				}
+			}
+		}
+	}
+	if n == 1 {
+		try([]int32{0})
+	}
+	return best
+}
+
+var sebAlgos = []struct {
+	name string
+	f    func(pts geom.Points) Ball
+}{
+	{"WelzlSequential", func(p geom.Points) Ball { return WelzlSequential(p, 1, Heuristics{}) }},
+	{"WelzlSeqMtf", func(p geom.Points) Ball { return WelzlSequential(p, 2, Heuristics{MTF: true}) }},
+	{"WelzlSeqMtfPivot", func(p geom.Points) Ball { return WelzlSequential(p, 3, Heuristics{MTF: true, Pivot: true}) }},
+	{"Welzl", func(p geom.Points) Ball { return Welzl(p, 4, Heuristics{}) }},
+	{"WelzlMtf", func(p geom.Points) Ball { return Welzl(p, 5, Heuristics{MTF: true}) }},
+	{"WelzlMtfPivot", func(p geom.Points) Ball { return Welzl(p, 6, Heuristics{MTF: true, Pivot: true}) }},
+	{"OrthantScan", OrthantScan},
+	{"Sampling", func(p geom.Points) Ball { return Sampling(p, 7) }},
+}
+
+func checkEnclosing(t *testing.T, pts geom.Points, b Ball, label string) {
+	t.Helper()
+	for i := 0; i < pts.Len(); i++ {
+		d := b.SqDistTo(pts.At(i))
+		if d > b.SqRadius*(1+1e-9) {
+			t.Fatalf("%s: point %d outside ball (d²=%g r²=%g)", label, i, d, b.SqRadius)
+		}
+	}
+}
+
+func TestSEBMatchesBruteForce(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, n := range []int{1, 2, 3, 5, 10, 25} {
+			pts := generators.UniformCube(n, dim, uint64(n*dim)+9)
+			want := bruteSEB(pts)
+			for _, alg := range sebAlgos {
+				got := alg.f(pts)
+				checkEnclosing(t, pts, got, alg.name)
+				if relDiff(got.SqRadius, want.SqRadius) > 1e-7 {
+					t.Fatalf("%s (d=%d n=%d): r²=%.12g want %.12g",
+						alg.name, dim, n, got.SqRadius, want.SqRadius)
+				}
+			}
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestSEBAgreementLarge(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"2d-uniform", generators.UniformCube(20000, 2, 1)},
+		{"2d-onsphere", generators.OnSphere(20000, 2, 2)},
+		{"3d-insphere", generators.InSphere(20000, 3, 3)},
+		{"5d-uniform", generators.UniformCube(20000, 5, 4)},
+	}
+	for _, tc := range cases {
+		ref := sebAlgos[0].f(tc.pts)
+		checkEnclosing(t, tc.pts, ref, tc.name+"/ref")
+		for _, alg := range sebAlgos[1:] {
+			got := alg.f(tc.pts)
+			checkEnclosing(t, tc.pts, got, tc.name+"/"+alg.name)
+			if relDiff(got.SqRadius, ref.SqRadius) > 1e-7 {
+				t.Fatalf("%s/%s: r²=%.12g want %.12g", tc.name, alg.name, got.SqRadius, ref.SqRadius)
+			}
+		}
+	}
+}
+
+func TestSEBKnownAnswer(t *testing.T) {
+	// Four corners of a unit square: SEB centered at (0.5, 0.5), r² = 0.5.
+	pts := geom.Points{Dim: 2, Data: []float64{0, 0, 1, 0, 0, 1, 1, 1}}
+	for _, alg := range sebAlgos {
+		b := alg.f(pts)
+		if relDiff(b.SqRadius, 0.5) > 1e-12 {
+			t.Fatalf("%s: square r² = %g, want 0.5", alg.name, b.SqRadius)
+		}
+		if math.Abs(b.Center[0]-0.5) > 1e-9 || math.Abs(b.Center[1]-0.5) > 1e-9 {
+			t.Fatalf("%s: square center %v", alg.name, b.Center[:2])
+		}
+	}
+	// Two points: diameter ball.
+	p2 := geom.Points{Dim: 3, Data: []float64{0, 0, 0, 2, 0, 0}}
+	for _, alg := range sebAlgos {
+		b := alg.f(p2)
+		if relDiff(b.SqRadius, 1) > 1e-12 {
+			t.Fatalf("%s: two-point r² = %g, want 1", alg.name, b.SqRadius)
+		}
+	}
+}
+
+func TestSEBDegenerate(t *testing.T) {
+	// All identical points: radius 0.
+	n := 100
+	pts := geom.NewPoints(n, 3)
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{3, 4, 5})
+	}
+	for _, alg := range sebAlgos {
+		b := alg.f(pts)
+		if b.SqRadius > 1e-18 {
+			t.Fatalf("%s: identical points r² = %g", alg.name, b.SqRadius)
+		}
+	}
+	// Empty input must not panic.
+	for _, alg := range sebAlgos {
+		_ = alg.f(geom.NewPoints(0, 2))
+	}
+	// Collinear points.
+	for i := 0; i < n; i++ {
+		pts.Set(i, []float64{float64(i), float64(i), float64(i)})
+	}
+	want := 3.0 * float64(n-1) * float64(n-1) / 4
+	for _, alg := range sebAlgos {
+		b := alg.f(pts)
+		checkEnclosing(t, pts, b, alg.name)
+		if relDiff(b.SqRadius, want) > 1e-9 {
+			t.Fatalf("%s: collinear r² = %g, want %g", alg.name, b.SqRadius, want)
+		}
+	}
+}
+
+func TestSEBProperty(t *testing.T) {
+	// Property: on random small inputs, all algorithms agree with the
+	// sequential Welzl reference and enclose every point.
+	f := func(raw []float64) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		n := len(raw) / 2
+		if n > 60 {
+			n = 60
+		}
+		pts := geom.NewPoints(n, 2)
+		for i := 0; i < n; i++ {
+			pts.Set(i, []float64{raw[2*i], raw[2*i+1]})
+		}
+		for i := range pts.Data {
+			if math.IsNaN(pts.Data[i]) || math.IsInf(pts.Data[i], 0) {
+				return true
+			}
+			// Bound coordinates to keep the test numerically meaningful.
+			pts.Data[i] = math.Mod(pts.Data[i], 1e6)
+		}
+		ref := WelzlSequential(pts, 1, Heuristics{})
+		for _, alg := range sebAlgos[1:] {
+			got := alg.f(pts)
+			if relDiff(got.SqRadius, ref.SqRadius) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingScansFraction(t *testing.T) {
+	pts := generators.UniformCube(200000, 3, 11)
+	_, frac := SamplingStats(pts, 3)
+	if frac <= 0 || frac > 1 {
+		t.Fatalf("scan fraction out of range: %g", frac)
+	}
+	// §6.2: the sampling phase scans a small part of the input on uniform
+	// data (paper: ~5% on average). Allow generous slack.
+	if frac > 0.6 {
+		t.Fatalf("sampling phase scanned %.0f%% of input", 100*frac)
+	}
+}
+
+func TestBallOfSupports(t *testing.T) {
+	pts := geom.Points{Dim: 2, Data: []float64{0, 0, 2, 0, 1, 1}}
+	// One point: zero ball.
+	b, ok := ballOf(pts, []int32{0})
+	if !ok || b.SqRadius != 0 {
+		t.Fatalf("one-point ball: %+v ok=%v", b, ok)
+	}
+	// Two points: diameter.
+	b, ok = ballOf(pts, []int32{0, 1})
+	if !ok || relDiff(b.SqRadius, 1) > 1e-12 || b.Center[0] != 1 || b.Center[1] != 0 {
+		t.Fatalf("two-point ball: %+v ok=%v", b, ok)
+	}
+	// Three points: circumcircle of (0,0),(2,0),(1,1) is centered (1,0), r=1.
+	b, ok = ballOf(pts, []int32{0, 1, 2})
+	if !ok || relDiff(b.SqRadius, 1) > 1e-12 || math.Abs(b.Center[0]-1) > 1e-12 || math.Abs(b.Center[1]) > 1e-12 {
+		t.Fatalf("three-point ball: %+v ok=%v", b, ok)
+	}
+	// Degenerate: duplicate support points.
+	dup := geom.Points{Dim: 2, Data: []float64{1, 1, 1, 1, 1, 1}}
+	if _, ok := ballOf(dup, []int32{0, 1, 2}); ok {
+		t.Fatal("degenerate support should not be ok")
+	}
+}

@@ -1,0 +1,151 @@
+package seb
+
+import (
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// Heuristics select the optional Welzl accelerations from §4.
+type Heuristics struct {
+	// MTF moves each violating point to the front of the working order so
+	// it is rediscovered early in subsequent scans (Welzl's heuristic).
+	MTF bool
+	// Pivot replaces each violating point with the point furthest from the
+	// current center before recursing (Gärtner's heuristic); the furthest
+	// point is found with a parallel max-reduction in the parallel version.
+	Pivot bool
+}
+
+// WelzlSequential computes the exact smallest enclosing ball with Welzl's
+// randomized incremental algorithm, one point at a time — the sequential
+// baseline of Fig. 10.
+func WelzlSequential(pts geom.Points, seed uint64, h Heuristics) Ball {
+	n := pts.Len()
+	if n == 0 {
+		return Ball{Dim: pts.Dim}
+	}
+	idx := parlay.RandomPermutation(n, seed)
+	if h.Pivot {
+		return welzlPivot(pts, idx, false)
+	}
+	return welzlLoop(pts, idx, nil, h, false)
+}
+
+// Welzl computes the exact smallest enclosing ball with the parallel
+// version of Welzl's algorithm described by Blelloch et al. and §4:
+// prefixes of exponentially increasing size are scanned in parallel for the
+// earliest violating point; prefixes smaller than SequentialCutoff are
+// processed sequentially (the paper uses 500000) since small prefixes have
+// too little parallelism to amortize the primitives.
+func Welzl(pts geom.Points, seed uint64, h Heuristics) Ball {
+	n := pts.Len()
+	if n == 0 {
+		return Ball{Dim: pts.Dim}
+	}
+	idx := parlay.RandomPermutation(n, seed)
+	if h.Pivot {
+		return welzlPivot(pts, idx, true)
+	}
+	return welzlLoop(pts, idx, nil, h, true)
+}
+
+// SequentialCutoff is the prefix length below which the parallel Welzl
+// algorithm degrades to the sequential scan (§4).
+const SequentialCutoff = 500000
+
+// welzlLoop is the shared driver. It runs the iterative restructuring of
+// Welzl's recursion: scan for a violator of the current ball; on violation,
+// recurse over the prefix before the violator with the violator pinned in
+// the support set. parallel selects the prefix-doubling violator search.
+func welzlLoop(pts geom.Points, idx []int32, support []int32, h Heuristics, parallel bool) Ball {
+	b, ok := ballOf(pts, support)
+	if !ok {
+		return welzlLoop(pts, idx, support[1:], h, parallel)
+	}
+	if len(support) == pts.Dim+1 {
+		return b
+	}
+	i := 0
+	for i < len(idx) {
+		// Find the first violator at or after i.
+		var j int
+		rest := idx[i:]
+		if parallel && len(rest) > SequentialCutoff {
+			j = parlay.FindFirst(len(rest), func(k int) bool {
+				return !b.Contains(pts.At(int(rest[k])))
+			})
+		} else {
+			j = -1
+			for k, p := range rest {
+				if !b.Contains(pts.At(int(p))) {
+					j = k
+					break
+				}
+			}
+		}
+		if j < 0 {
+			return b
+		}
+		vi := i + j // absolute index of the violator
+		p := idx[vi]
+		b = welzlLoop(pts, idx[:vi], append(support, p), h, parallel)
+		if h.MTF {
+			copy(idx[1:vi+1], idx[:vi])
+			idx[0] = p
+			// The prefix content shifted but its set is unchanged; continue
+			// scanning after the old violator position.
+		}
+		i = vi + 1
+	}
+	return b
+}
+
+// maxPivotIterations guards the pivot loop against floating-point stalls;
+// the fallback recomputes exactly without pivoting.
+const maxPivotIterations = 1000
+
+// welzlPivot implements Gärtner's pivoting heuristic (§4): maintain the
+// exact ball of a small support set; repeatedly find the point furthest
+// from the current center (a parallel max-reduction in the parallel
+// version), and if it violates the ball, recompute the exact ball of
+// support ∪ {pivot} with the pivot pinned to the boundary. The radius
+// strictly increases each iteration, and on termination the ball equals
+// the smallest ball of its own support set while enclosing all points —
+// which is exactly the smallest enclosing ball.
+func welzlPivot(pts geom.Points, idx []int32, parallel bool) Ball {
+	b, ok := ballOf(pts, idx[:1])
+	if !ok {
+		return Ball{Dim: pts.Dim}
+	}
+	support := []int32{idx[0]}
+	for iter := 0; iter < maxPivotIterations; iter++ {
+		var fi int
+		if parallel && len(idx) > SequentialCutoff {
+			fi = parlay.MaxIndexFloat(len(idx), 0, func(k int) float64 {
+				return b.SqDistTo(pts.At(int(idx[k])))
+			})
+		} else {
+			fi = 0
+			bd := b.SqDistTo(pts.At(int(idx[0])))
+			for k := 1; k < len(idx); k++ {
+				if d := b.SqDistTo(pts.At(int(idx[k]))); d > bd {
+					fi, bd = k, d
+				}
+			}
+		}
+		pivot := idx[fi]
+		if b.Contains(pts.At(int(pivot))) {
+			return b // furthest point inside: everything inside; optimal
+		}
+		cand := append([]int32(nil), support...)
+		cand = append(cand, pivot)
+		nb := welzlMtf(pts, cand, nil)
+		if nb.SqRadius <= b.SqRadius*(1+1e-14) {
+			// Stalled on floating-point noise: recompute exactly.
+			return welzlLoop(pts, idx, nil, Heuristics{MTF: true}, parallel)
+		}
+		b = nb
+		support = boundarySupport(pts, &b, cand)
+	}
+	return welzlLoop(pts, idx, nil, Heuristics{MTF: true}, parallel)
+}

@@ -1,0 +1,52 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path halving — the substrate for Kruskal's algorithm in the EMST module.
+package unionfind
+
+// UF is a disjoint-set forest over elements 0..n-1.
+type UF struct {
+	parent []int32
+	rank   []int8
+	count  int // number of live components
+}
+
+// New returns a forest of n singleton components.
+func New(n int) *UF {
+	u := &UF{parent: make([]int32, n), rank: make([]int8, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's component, halving the path.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of a and b; reports whether a merge happened
+// (false if they were already connected).
+func (u *UF) Union(a, b int32) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.count--
+	return true
+}
+
+// Connected reports whether a and b are in the same component.
+func (u *UF) Connected(a, b int32) bool { return u.Find(a) == u.Find(b) }
+
+// Count returns the number of components.
+func (u *UF) Count() int { return u.count }

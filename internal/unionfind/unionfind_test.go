@@ -1,0 +1,117 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Count() != 5 {
+		t.Fatalf("count %d", u.Count())
+	}
+	for i := int32(0); i < 5; i++ {
+		if u.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, u.Find(i))
+		}
+		for j := i + 1; j < 5; j++ {
+			if u.Connected(i, j) {
+				t.Fatalf("%d and %d connected initially", i, j)
+			}
+		}
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	u := New(4)
+	if !u.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat union should not merge")
+	}
+	if u.Count() != 3 {
+		t.Fatalf("count %d", u.Count())
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Count() != 1 {
+		t.Fatalf("count %d after full merge", u.Count())
+	}
+	if !u.Connected(1, 2) {
+		t.Fatal("transitive connectivity broken")
+	}
+}
+
+func TestChainCompression(t *testing.T) {
+	n := 10000
+	u := New(n)
+	for i := 1; i < n; i++ {
+		u.Union(int32(i-1), int32(i))
+	}
+	if u.Count() != 1 {
+		t.Fatalf("count %d", u.Count())
+	}
+	// After path halving, Find should be fast and consistent.
+	root := u.Find(0)
+	for i := 0; i < n; i += 97 {
+		if u.Find(int32(i)) != root {
+			t.Fatalf("element %d has different root", i)
+		}
+	}
+}
+
+func TestAgainstNaiveOracle(t *testing.T) {
+	// Property: same connectivity as a naive label array under random
+	// unions.
+	f := func(ops []uint16) bool {
+		n := 64
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for _, op := range ops {
+			a := int32(op) % int32(n)
+			b := int32(op>>6) % int32(n)
+			u.Union(a, b)
+			if label[a] != label[b] {
+				relabel(label[a], label[b])
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if u.Connected(int32(i), int32(j)) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedCountInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 1000
+	u := New(n)
+	merges := 0
+	for i := 0; i < 5000; i++ {
+		if u.Union(int32(r.Intn(n)), int32(r.Intn(n))) {
+			merges++
+		}
+	}
+	if u.Count() != n-merges {
+		t.Fatalf("count %d, want %d", u.Count(), n-merges)
+	}
+}

@@ -1,0 +1,91 @@
+package wspd
+
+import (
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/kdtree"
+)
+
+// TestWSPDCoversAllPairs verifies the defining property: every unordered
+// pair of distinct points is covered by exactly one node pair (counting
+// intra-leaf pairs as uncovered — the tree is built with leaf size 1 here
+// so every pair must be covered).
+func TestWSPDCoversAllPairs(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 400} {
+		pts := generators.UniformCube(n, 2, uint64(n))
+		tree := kdtree.Build(pts, kdtree.Options{LeafSize: 1})
+		pairs := Compute(tree, 2.0)
+		cover := make(map[[2]int32]int)
+		for _, pr := range pairs {
+			for _, a := range tree.Points(pr.A) {
+				for _, b := range tree.Points(pr.B) {
+					u, v := a, b
+					if u > v {
+						u, v = v, u
+					}
+					cover[[2]int32{u, v}]++
+				}
+			}
+		}
+		want := n * (n - 1) / 2
+		if len(cover) != want {
+			t.Fatalf("n=%d: covered %d pairs, want %d", n, len(cover), want)
+		}
+		for k, c := range cover {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v covered %d times", n, k, c)
+			}
+		}
+	}
+}
+
+func TestWSPDSeparation(t *testing.T) {
+	// Every emitted non-leaf pair must satisfy the separation predicate.
+	pts := generators.UniformCube(500, 3, 3)
+	tree := kdtree.Build(pts, kdtree.Options{LeafSize: 1})
+	const s = 2.0
+	pairs := Compute(tree, s)
+	for _, pr := range pairs {
+		// Leaf-size-1 trees have zero-diameter leaves; pairs of single
+		// points are always well separated for any s.
+		if !WellSeparated(pr.A, pr.B, s, 3) && pr.A.Size() > 1 && pr.B.Size() > 1 {
+			t.Fatalf("pair not well separated: sizes %d/%d", pr.A.Size(), pr.B.Size())
+		}
+	}
+}
+
+func TestWSPDPairCountLinear(t *testing.T) {
+	// Theory: the number of WSPD pairs is O(s^d · n). Sanity-check the
+	// growth is roughly linear, not quadratic.
+	n1, n2 := 2000, 4000
+	p1 := generators.UniformCube(n1, 2, 5)
+	p2 := generators.UniformCube(n2, 2, 6)
+	c1 := len(Compute(kdtree.Build(p1, kdtree.Options{LeafSize: 1}), 2.0))
+	c2 := len(Compute(kdtree.Build(p2, kdtree.Options{LeafSize: 1}), 2.0))
+	if c1 < n1 || c2 < n2 {
+		t.Fatalf("too few pairs: %d, %d", c1, c2)
+	}
+	ratio := float64(c2) / float64(c1)
+	if ratio > 3.5 { // linear growth would give ~2
+		t.Fatalf("pair count growth looks superlinear: %d -> %d (%.2fx)", c1, c2, ratio)
+	}
+}
+
+func TestWSPDLargerSeparation(t *testing.T) {
+	pts := generators.UniformCube(1000, 2, 7)
+	tree := kdtree.Build(pts, kdtree.Options{LeafSize: 1})
+	cs2 := len(Compute(tree, 2.0))
+	cs4 := len(Compute(tree, 4.0))
+	if cs4 <= cs2 {
+		t.Fatalf("higher separation should produce more pairs: s=2 %d, s=4 %d", cs2, cs4)
+	}
+}
+
+func TestWSPDEmptyAndSingle(t *testing.T) {
+	p0 := generators.UniformCube(1, 2, 8)
+	tree := kdtree.Build(p0, kdtree.Options{LeafSize: 1})
+	if pairs := Compute(tree, 2.0); len(pairs) != 0 {
+		t.Fatalf("single point: %d pairs", len(pairs))
+	}
+}
