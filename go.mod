@@ -1,0 +1,3 @@
+module pargeo
+
+go 1.24

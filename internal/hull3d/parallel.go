@@ -26,6 +26,11 @@ import (
 // Rounds repeat until no visible points remain. The smallest-priority
 // point in every batch always wins all of its writes, so at least one
 // point commits per round and the algorithm terminates.
+//
+// Each phase below is a grain-1 parlay loop: one scheduler task per batch
+// point, so the highly variable per-point BFS cost (a point may see one
+// facet or hundreds) load-balances by work stealing instead of pinning a
+// whole block of expensive points to one goroutine.
 
 type visInfo struct {
 	vis      []int32

@@ -13,11 +13,12 @@ import (
 // parallel quickhull.
 //
 // Differences from Tang et al.'s GPU version, mirroring the paper's: the
-// facet recursion runs asynchronously in parallel (goroutines) rather than
-// in lock-step over preallocated GPU buffers; the furthest point per facet
-// uses a parallel max-reduction; and growth stops once a facet holds fewer
-// than CullThreshold points, which bounds recursion depth on skewed inputs
-// while leaving only a negligible number of extra unpruned points.
+// facet recursion forks through parlay's work-stealing scheduler rather
+// than running in lock-step over preallocated GPU buffers; the furthest
+// point per facet uses a parallel max-reduction; and growth stops once a
+// facet holds fewer than CullThreshold points, which bounds recursion depth
+// on skewed inputs while leaving only a negligible number of extra unpruned
+// points.
 
 // CullThreshold is the default facet point count below which the pseudohull
 // stops growing.
@@ -51,7 +52,7 @@ func PseudoWithStats(pts geom.Points, threshold int) ([][3]int32, int) {
 	survivors := make([][]int32, 4)
 	parlay.For(4, 1, func(k int) {
 		f := &h.facets[h.alive[k]]
-		survivors[k] = pseudoRec(pts, f.v, f.pts, threshold, 48)
+		survivors[k] = pseudoRec(pts, f.v, f.pts, threshold)
 	})
 	var cand []int32
 	cand = append(cand, tetraVerts...)
@@ -72,7 +73,7 @@ func PseudoWithStats(pts geom.Points, threshold int) ([][3]int32, int) {
 // pseudoRec grows the pseudohull under triangle tri over its assigned
 // visible points cand, returning the ids that survive culling (leftover
 // points of small facets plus the apex vertices chosen along the way).
-func pseudoRec(pts geom.Points, tri [3]int32, cand []int32, threshold, depth int) []int32 {
+func pseudoRec(pts geom.Points, tri [3]int32, cand []int32, threshold int) []int32 {
 	if len(cand) == 0 {
 		return nil
 	}
@@ -116,9 +117,11 @@ func pseudoRec(pts geom.Points, tri [3]int32, cand []int32, threshold, depth int
 	}
 	var out [3][]int32
 	run := func(s int) func() {
-		return func() { out[s] = pseudoRec(pts, tris[s], lists[s], threshold, depth-1) }
+		return func() { out[s] = pseudoRec(pts, tris[s], lists[s], threshold) }
 	}
-	if depth > 0 && len(cand) > 4096 {
+	// Fork while a subproblem is above the sequential grain; the scheduler
+	// balances the (skew-prone) facet tree, so no depth limit is needed.
+	if len(cand) > 4096 {
 		parlay.Do(run(0), run(1), run(2))
 	} else {
 		run(0)()

@@ -8,9 +8,11 @@
 // Construction follows §2 and Appendix C.1: split along the widest
 // dimension of the node's bounding box, either at the object median (median
 // point coordinate, via quickselect) or the spatial median (midpoint of the
-// box extent); recursion on the two sides proceeds in parallel until
-// subtrees are small. Points are never copied: the tree permutes a single
-// index array, and each node owns a contiguous range of it.
+// box extent); recursion on the two sides forks through parlay's
+// work-stealing scheduler (nested fork-join, no depth limit) until subtrees
+// fall below the sequential grain, so skewed splits rebalance dynamically.
+// Points are never copied: the tree permutes a single index array, and each
+// node owns a contiguous range of it.
 //
 // On layout: the paper stores BDL-tree nodes in the cache-oblivious van
 // Emde Boas order (Appendix C.1.1). The general tree here uses DFS
@@ -109,7 +111,9 @@ func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
 	return t
 }
 
-// parallelBuildThreshold: below this many points a subtree builds serially.
+// parallelBuildThreshold: below this many points a subtree builds serially —
+// the fork-join grain. Above it the two children fork as nested Do tasks and
+// the scheduler balances the recursion tree, however skewed the splits.
 const parallelBuildThreshold = 4096
 
 func (t *Tree) build(lo, hi int32, par bool) *Node {

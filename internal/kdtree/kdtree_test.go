@@ -2,6 +2,7 @@ package kdtree
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -281,5 +282,57 @@ func TestEmptyAndTinyTrees(t *testing.T) {
 	one.KNNInto([]float64{0, 0}, -1, buf)
 	if res := buf.Result(nil); len(res) != 1 || res[0] != 0 {
 		t.Fatalf("single-point knn: %v", res)
+	}
+}
+
+// TestParallelBuildUnderScheduler pins GOMAXPROCS above 1 so the nested
+// fork-join build path through parlay's work-stealing scheduler runs even on
+// single-core hosts (and under -race in CI), on both uniform and clustered
+// (skew-prone) inputs.
+func TestParallelBuildUnderScheduler(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, tc := range []struct {
+		name string
+		pts  geom.Points
+	}{
+		{"uniform", generators.UniformCube(60000, 3, 5)},
+		{"seedspreader", generators.SeedSpreader(60000, 3, 6)},
+	} {
+		for _, split := range []SplitRule{ObjectMedian, SpatialMedian} {
+			par := Build(tc.pts, Options{Split: split})
+			ser := Build(tc.pts, Options{Split: split, Serial: true})
+			if par.Root == nil || par.Root.Size() != tc.pts.Len() {
+				t.Fatalf("%s/%v: bad root", tc.name, split)
+			}
+			// Every point appears exactly once across the leaf ranges.
+			seen := make([]bool, tc.pts.Len())
+			var walk func(nd *Node)
+			walk = func(nd *Node) {
+				if nd.IsLeaf() {
+					for i := nd.Lo; i < nd.Hi; i++ {
+						id := par.Idx[i]
+						if seen[id] {
+							t.Fatalf("%s/%v: point %d appears twice", tc.name, split, id)
+						}
+						seen[id] = true
+					}
+					return
+				}
+				if nd.Left.Lo != nd.Lo || nd.Right.Hi != nd.Hi || nd.Left.Hi != nd.Right.Lo {
+					t.Fatalf("%s/%v: child ranges inconsistent", tc.name, split)
+				}
+				walk(nd.Left)
+				walk(nd.Right)
+			}
+			walk(par.Root)
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("%s/%v: point %d missing", tc.name, split, i)
+				}
+			}
+			if h1, h2 := par.Height(), ser.Height(); h1 != h2 {
+				t.Fatalf("%s/%v: parallel height %d != serial height %d", tc.name, split, h1, h2)
+			}
+		}
 	}
 }

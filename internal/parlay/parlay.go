@@ -1,45 +1,47 @@
-// Package parlay is this library's substitute for ParlayLib, the fork-join
-// parallel-primitives toolkit that ParGeo builds on. It provides the small
-// set of primitives every ParGeo module uses:
-//
-//   - parallel loops with grain control (For, ForBlocked)
-//   - parallel reductions (Reduce, MinIndex, MaxIndexFloat)
-//   - parallel prefix sums (ScanInts)
-//   - parallel filtering/packing (Pack, PackIndex, Filter)
-//   - parallel comparison sort (Sort) and radix sort for 64-bit keys (sortkeys.go)
-//   - atomic priority writes (WriteMin/WriteMax) — the "reservation"
-//     primitive from the paper's convex-hull algorithm
-//   - deterministic random permutation (Shuffle)
-//
-// ParlayLib uses a Cilk-style work-stealing scheduler with nested fork-join.
-// Go has no such scheduler, so parallel loops here fan out a bounded number
-// of goroutines (O(P), chosen from the grain size) over block ranges, and
-// divide-and-conquer code forks goroutines up to a depth limit. The Go
-// runtime multiplexes these onto GOMAXPROCS threads, which approximates
-// dynamic load balancing at a modest constant-factor overhead (this is the
-// "some overhead" the reproduction notes anticipate).
-//
-// Every primitive degrades to its sequential form when the input is below
-// the grain size or when only one worker is available, so single-thread runs
-// pay almost nothing for parallel readiness.
 package parlay
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"pargeo/internal/rng"
 )
 
 // DefaultGrain is the default minimum number of loop iterations assigned to
-// one task. Chosen so that per-task goroutine overhead (~1µs) is well under
-// 1% of task runtime for cheap loop bodies.
+// one task. Chosen so that per-task scheduling overhead (~100ns for a deque
+// push/pop pair) is well under 1% of task runtime for cheap loop bodies.
 const DefaultGrain = 2048
 
 // NumWorkers returns the number of parallel workers used by this package:
 // the current GOMAXPROCS setting.
 func NumWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// blocking computes the task decomposition for an n-iteration loop: the
+// number of blocks and the (balanced) block size. A non-positive grain asks
+// for the default, which additionally coarsens so that a single loop creates
+// at most ~16 blocks per worker — enough slack for stealing to rebalance a
+// skewed loop, without drowning a uniform one in task overhead. An explicit
+// grain gives callers with expensive iterations (per-point hull BFS,
+// per-query k-NN) individually stealable fine blocks, but the total is
+// still capped at 64 blocks per worker: past that, extra tasks add
+// scheduling overhead without adding balance (grain is a floor — "at least
+// grain iterations per task" — not an exact block size).
+func blocking(n, grain int) (nblocks, blockSize int) {
+	if grain <= 0 {
+		grain = DefaultGrain
+		if g := (n + 16*NumWorkers() - 1) / (16 * NumWorkers()); g > grain {
+			grain = g
+		}
+	}
+	nblocks = (n + grain - 1) / grain
+	if maxBlocks := 64 * NumWorkers(); nblocks > maxBlocks {
+		nblocks = maxBlocks
+	}
+	blockSize = (n + nblocks - 1) / nblocks
+	// Recompute so the last block is never empty (blockSize rounding).
+	nblocks = (n + blockSize - 1) / blockSize
+	return
+}
 
 // For runs body(i) for each i in [0, n) in parallel, with at least grain
 // iterations per task. If grain <= 0, DefaultGrain is used. body must be
@@ -55,60 +57,47 @@ func For(n, grain int, body func(i int)) {
 // ForBlocked runs body(lo, hi) over a partition of [0, n) into contiguous
 // blocks of at least grain iterations, in parallel across blocks. It is the
 // workhorse loop: block form lets bodies keep per-block locals (partial
-// sums, local buffers) without false sharing.
+// sums, local buffers) without false sharing. Blocks are scheduler tasks,
+// so an idle worker steals blocks from a loop that turned out to be skewed.
 func ForBlocked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	p := NumWorkers()
-	if p == 1 || n <= grain {
+	nblocks, blockSize := blocking(n, grain)
+	if nblocks <= 1 || seqMode() {
 		body(0, n)
 		return
 	}
-	// Up to 4 blocks per worker so the runtime can balance uneven bodies.
-	nblocks := min(4*p, (n+grain-1)/grain)
-	if nblocks <= 1 {
-		body(0, n)
-		return
-	}
-	blockSize := (n + nblocks - 1) / nblocks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += blockSize {
+	defaultSched().parallelFor(nblocks, func(b int) {
+		lo := b * blockSize
 		hi := min(lo+blockSize, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		if lo < hi {
 			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
-// Do runs the given thunks in parallel and waits for all of them. It is the
-// binary/n-ary fork-join join point used by divide-and-conquer algorithms.
+// Do runs the given thunks as parallel fork-join tasks and waits for all of
+// them. It is the binary/n-ary join point used by divide-and-conquer
+// algorithms, and it nests: a thunk may itself call Do (or any other
+// primitive) and the scheduler load-balances the whole recursion tree, so
+// callers need no depth limits — only a sequential cutoff below which
+// forking is not worth its (small) cost.
 func Do(thunks ...func()) {
 	if len(thunks) == 0 {
 		return
 	}
-	if len(thunks) == 1 || NumWorkers() == 1 {
+	if len(thunks) == 1 || seqMode() {
 		for _, t := range thunks {
 			t()
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, t := range thunks[1:] {
-		wg.Add(1)
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(t)
+	if w := currentWorker(); w != nil {
+		w.do(thunks)
+		return
 	}
-	thunks[0]()
-	wg.Wait()
+	defaultSched().externalDo(thunks)
 }
 
 // Reduce computes merge over f(i) for i in [0, n) in parallel.
@@ -117,38 +106,22 @@ func Reduce[T any](n, grain int, id T, f func(i int) T, merge func(a, b T) T) T 
 	if n <= 0 {
 		return id
 	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	p := NumWorkers()
-	if p == 1 || n <= grain {
+	nblocks, blockSize := blocking(n, grain)
+	if nblocks <= 1 || seqMode() {
 		acc := id
 		for i := 0; i < n; i++ {
 			acc = merge(acc, f(i))
 		}
 		return acc
 	}
-	nblocks := min(4*p, (n+grain-1)/grain)
-	blockSize := (n + nblocks - 1) / nblocks
-	partial := make([]T, 0, nblocks)
-	var bounds [][2]int
-	for lo := 0; lo < n; lo += blockSize {
-		partial = append(partial, id)
-		bounds = append(bounds, [2]int{lo, min(lo+blockSize, n)})
-	}
-	var wg sync.WaitGroup
-	for b := range bounds {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			acc := id
-			for i := bounds[b][0]; i < bounds[b][1]; i++ {
-				acc = merge(acc, f(i))
-			}
-			partial[b] = acc
-		}(b)
-	}
-	wg.Wait()
+	partial := make([]T, nblocks)
+	defaultSched().parallelFor(nblocks, func(b int) {
+		acc := id
+		for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
+			acc = merge(acc, f(i))
+		}
+		partial[b] = acc
+	})
 	acc := id
 	for _, v := range partial {
 		acc = merge(acc, v)
@@ -210,8 +183,8 @@ func ScanInts(in []int) int {
 	if n == 0 {
 		return 0
 	}
-	p := NumWorkers()
-	if p == 1 || n <= 2*DefaultGrain {
+	nblocks, blockSize := blocking(n, 0)
+	if nblocks <= 1 || seqMode() {
 		total := 0
 		for i := 0; i < n; i++ {
 			v := in[i]
@@ -220,32 +193,27 @@ func ScanInts(in []int) int {
 		}
 		return total
 	}
-	nblocks := min(4*p, (n+DefaultGrain-1)/DefaultGrain)
-	blockSize := (n + nblocks - 1) / nblocks
 	sums := make([]int, nblocks)
-	ForBlocked(nblocks, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			s := 0
-			for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
-				s += in[i]
-			}
-			sums[b] = s
+	s := defaultSched()
+	s.parallelFor(nblocks, func(b int) {
+		acc := 0
+		for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
+			acc += in[i]
 		}
+		sums[b] = acc
 	})
 	total := 0
 	for b := 0; b < nblocks; b++ {
-		s := sums[b]
+		v := sums[b]
 		sums[b] = total
-		total += s
+		total += v
 	}
-	ForBlocked(nblocks, 1, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			acc := sums[b]
-			for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
-				v := in[i]
-				in[i] = acc
-				acc += v
-			}
+	s.parallelFor(nblocks, func(b int) {
+		acc := sums[b]
+		for i := b * blockSize; i < min((b+1)*blockSize, n); i++ {
+			v := in[i]
+			in[i] = acc
+			acc += v
 		}
 	})
 	return total
@@ -365,11 +333,4 @@ func RandomPermutation(n int, seed uint64) []int32 {
 	For(n, 0, func(i int) { p[i] = int32(i) })
 	Shuffle(p, seed)
 	return p
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -3,39 +3,36 @@ package parlay
 import (
 	"math"
 	"sort"
-	"sync"
 )
 
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 
 // sortSeqThreshold is the subproblem size below which parallel merge sort
 // falls back to the standard library's introsort. Below this size the
-// goroutine fork/join cost dominates any parallel gain.
+// fork-join cost dominates any parallel gain.
 const sortSeqThreshold = 8192
 
 // Sort sorts s in parallel using a (non-stable) parallel merge sort:
 // recursively sort halves in parallel, then merge the halves in parallel by
 // splitting the merge at the median of the larger half (the classic
-// CLRS/Cilk parallel merge). Work Θ(n log n), span Θ(log³ n).
+// CLRS/Cilk parallel merge). Work Θ(n log n), span Θ(log³ n). The recursion
+// forks through the work-stealing scheduler, so it needs no depth limit:
+// the only cutoff is the sequential grain.
 func Sort[T any](s []T, less func(a, b T) bool) {
 	n := len(s)
-	if n <= sortSeqThreshold || NumWorkers() == 1 {
+	if n <= sortSeqThreshold || seqMode() {
 		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
 		return
 	}
 	buf := make([]T, n)
-	depth := 0
-	for p := NumWorkers(); p > 1; p >>= 1 {
-		depth += 2 // allow 4x oversubscription in the recursion tree
-	}
-	mergeSort(s, buf, less, depth, false)
+	mergeSort(s, buf, less, false)
 }
 
 // mergeSort sorts src; if toBuf, the sorted output lands in buf, otherwise
 // in src. Alternating the destination avoids a copy per level.
-func mergeSort[T any](src, buf []T, less func(a, b T) bool, depth int, toBuf bool) {
+func mergeSort[T any](src, buf []T, less func(a, b T) bool, toBuf bool) {
 	n := len(src)
-	if n <= sortSeqThreshold || depth <= 0 {
+	if n <= sortSeqThreshold {
 		sort.Slice(src, func(i, j int) bool { return less(src[i], src[j]) })
 		if toBuf {
 			copy(buf, src)
@@ -44,8 +41,8 @@ func mergeSort[T any](src, buf []T, less func(a, b T) bool, depth int, toBuf boo
 	}
 	mid := n / 2
 	Do(
-		func() { mergeSort(src[:mid], buf[:mid], less, depth-1, !toBuf) },
-		func() { mergeSort(src[mid:], buf[mid:], less, depth-1, !toBuf) },
+		func() { mergeSort(src[:mid], buf[:mid], less, !toBuf) },
+		func() { mergeSort(src[mid:], buf[mid:], less, !toBuf) },
 	)
 	// The sorted halves now live in the opposite array of the destination.
 	var from, to []T
@@ -54,13 +51,13 @@ func mergeSort[T any](src, buf []T, less func(a, b T) bool, depth int, toBuf boo
 	} else {
 		from, to = buf, src
 	}
-	parMerge(from[:mid], from[mid:], to, less, depth)
+	parMerge(from[:mid], from[mid:], to, less)
 }
 
 // parMerge merges sorted a and b into out (len(out) == len(a)+len(b)),
-// forking while the work is large and depth remains.
-func parMerge[T any](a, b, out []T, less func(a, b T) bool, depth int) {
-	if len(a)+len(b) <= sortSeqThreshold || depth <= 0 {
+// forking while the work is large.
+func parMerge[T any](a, b, out []T, less func(a, b T) bool) {
+	if len(a)+len(b) <= sortSeqThreshold {
 		seqMerge(a, b, out, less)
 		return
 	}
@@ -71,8 +68,8 @@ func parMerge[T any](a, b, out []T, less func(a, b T) bool, depth int) {
 	// Position of a[ma] in b by binary search.
 	mb := sort.Search(len(b), func(i int) bool { return !less(b[i], a[ma]) })
 	Do(
-		func() { parMerge(a[:ma], b[:mb], out[:ma+mb], less, depth-1) },
-		func() { parMerge(a[ma:], b[mb:], out[ma+mb:], less, depth-1) },
+		func() { parMerge(a[:ma], b[:mb], out[:ma+mb], less) },
+		func() { parMerge(a[ma:], b[mb:], out[ma+mb:], less) },
 	)
 }
 
@@ -95,7 +92,8 @@ func seqMerge[T any](a, b, out []T, less func(a, b T) bool) {
 // SortPairs sorts keys (uint64) in parallel with a least-significant-digit
 // radix sort, carrying vals along. It sorts 8 bits per pass over however
 // many passes the maximum key requires; each pass is a parallel count /
-// scan / scatter. This is the engine behind Morton sort.
+// scan / scatter, with the per-block count and scatter phases running as
+// scheduler tasks. This is the engine behind Morton sort.
 func SortPairs(keys []uint64, vals []int32) {
 	n := len(keys)
 	if n != len(vals) {
@@ -104,8 +102,7 @@ func SortPairs(keys []uint64, vals []int32) {
 	if n <= 1 {
 		return
 	}
-	var maxKey uint64
-	maxKey = Reduce(n, 0, 0,
+	maxKey := Reduce(n, 0, 0,
 		func(i int) uint64 { return keys[i] },
 		func(a, b uint64) uint64 {
 			if a > b {
@@ -121,28 +118,22 @@ func SortPairs(keys []uint64, vals []int32) {
 	tmpV := make([]int32, n)
 	srcK, srcV, dstK, dstV := keys, vals, tmpK, tmpV
 
-	p := NumWorkers()
-	nblocks := min(4*p, max(1, n/DefaultGrain))
-	blockSize := (n + nblocks - 1) / nblocks
+	nblocks, blockSize := blocking(n, 0)
 	// counts[b][d]: occurrences of digit d in block b.
 	counts := make([][256]int, nblocks)
 
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(8 * pass)
-		var wg sync.WaitGroup
-		for b := 0; b < nblocks; b++ {
-			wg.Add(1)
-			go func(b int) {
-				defer wg.Done()
+		ForBlocked(nblocks, 1, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
 				var c [256]int
 				lo, hi := b*blockSize, min((b+1)*blockSize, n)
 				for i := lo; i < hi; i++ {
 					c[(srcK[i]>>shift)&0xff]++
 				}
 				counts[b] = c
-			}(b)
-		}
-		wg.Wait()
+			}
+		})
 		// Column-major exclusive scan: digit-major so that equal digits
 		// keep block order (stability).
 		total := 0
@@ -153,10 +144,8 @@ func SortPairs(keys []uint64, vals []int32) {
 				total += c
 			}
 		}
-		for b := 0; b < nblocks; b++ {
-			wg.Add(1)
-			go func(b int) {
-				defer wg.Done()
+		ForBlocked(nblocks, 1, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
 				offsets := counts[b]
 				lo, hi := b*blockSize, min((b+1)*blockSize, n)
 				for i := lo; i < hi; i++ {
@@ -166,9 +155,8 @@ func SortPairs(keys []uint64, vals []int32) {
 					dstK[pos] = srcK[i]
 					dstV[pos] = srcV[i]
 				}
-			}(b)
-		}
-		wg.Wait()
+			}
+		})
 		srcK, dstK = dstK, srcK
 		srcV, dstV = dstV, srcV
 	}
@@ -176,11 +164,4 @@ func SortPairs(keys []uint64, vals []int32) {
 		copy(keys, srcK)
 		copy(vals, srcV)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

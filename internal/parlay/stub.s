@@ -1,0 +1,3 @@
+// Empty assembly file. Its presence lets scheduler.go declare a body-less
+// function (profLabelPtr, resolved via go:linkname) without the compiler's
+// -complete check rejecting the package.

@@ -21,8 +21,9 @@
 //     3D-scan surrogates.
 //
 // Points are stored in the flat structure-of-arrays Points buffer; all
-// algorithms address points by index and parallelize with goroutine-based
-// fork-join primitives that honor GOMAXPROCS.
+// algorithms address points by index and parallelize through the
+// work-stealing fork-join scheduler in internal/parlay, which honors
+// GOMAXPROCS and degrades to sequential execution on one processor.
 package pargeo
 
 import (
