@@ -11,6 +11,7 @@
 //	pargeo-bench -experiment hullstats       # §6.1 pseudohull pruning statistics
 //	pargeo-bench -experiment sebstats        # §6.2 sampling-phase statistics
 //	pargeo-bench -experiment zdcompare       # §6.3 BDL-tree vs Zd-tree
+//	pargeo-bench -experiment engine          # mixed read/write serving throughput
 //	pargeo-bench -experiment all
 //
 // The paper's experiments use 10M–100M points on a 36-core machine; -n
@@ -30,7 +31,7 @@ import (
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|all")
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|all")
 	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
 	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
@@ -58,6 +59,7 @@ func main() {
 	run("hullstats", func() { hullStats(*flagN, *flagSeed) })
 	run("sebstats", func() { sebStats(*flagN, *flagSeed) })
 	run("zdcompare", func() { zdCompare(*flagN, *flagSeed) })
+	run("engine", func() { engineBench(*flagN, *flagSeed) })
 }
 
 func parseThreads(s string) []int {

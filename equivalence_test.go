@@ -1,0 +1,268 @@
+package pargeo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pargeo/internal/oracle"
+)
+
+// Cross-algorithm equivalence: every implementation selectable through the
+// facade must give the same answer on the same input. Hull vertex sets are
+// compared after canonicalization to the strict hull (some variants keep
+// collinear boundary points — a valid hull, but not a canonical one), and
+// by coordinates rather than indices (duplicate points make index choice
+// arbitrary). Each hull is additionally checked against the brute-force
+// membership oracle: every input point must lie inside it.
+
+var hull2DAlgs = []struct {
+	name string
+	alg  Hull2DAlgorithm
+}{
+	{"MonotoneChain", Hull2DMonotoneChain},
+	{"SeqQuickhull", Hull2DSeqQuickhull},
+	{"Quickhull", Hull2DQuickhull},
+	{"RandInc", Hull2DRandInc},
+	{"DivideConquer", Hull2DDivideConquer},
+}
+
+var hull3DAlgs = []struct {
+	name string
+	alg  Hull3DAlgorithm
+}{
+	{"SeqQuickhull", Hull3DSeqQuickhull},
+	{"SeqRandInc", Hull3DSeqRandInc},
+	{"Quickhull", Hull3DQuickhull},
+	{"RandInc", Hull3DRandInc},
+	{"Pseudo", Hull3DPseudo},
+	{"DivideConquer", Hull3DDivideConquer},
+}
+
+var sebAlgs = []struct {
+	name string
+	alg  SEBAlgorithm
+}{
+	{"WelzlSeq", SEBWelzlSeq},
+	{"Welzl", SEBWelzl},
+	{"WelzlMtf", SEBWelzlMtf},
+	{"WelzlMtfPivot", SEBWelzlMtfPivot},
+	{"Scan", SEBScan},
+	{"Sampling", SEBSampling},
+}
+
+// canonicalHull2D reduces a hull index list to the sorted coordinate set of
+// its strict hull vertices (collinear boundary points removed).
+func canonicalHull2D(pts Points, hull []int32) [][2]float64 {
+	sub := NewPoints(len(hull), 2)
+	for i, id := range hull {
+		sub.Set(i, pts.At(int(id)))
+	}
+	strict := ConvexHull2D(sub, Hull2DMonotoneChain)
+	out := make([][2]float64, len(strict))
+	for i, id := range strict {
+		p := sub.At(int(id))
+		out[i] = [2]float64{p[0], p[1]}
+	}
+	sortCoords2(out)
+	return out
+}
+
+func sortCoords2(s [][2]float64) {
+	sort.Slice(s, func(a, b int) bool {
+		if s[a][0] != s[b][0] {
+			return s[a][0] < s[b][0]
+		}
+		return s[a][1] < s[b][1]
+	})
+}
+
+func coords2Equal(a, b [][2]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hull2DInputs() map[string]Points {
+	collinear := NewPoints(100, 2)
+	for i := 0; i < 100; i++ {
+		collinear.Set(i, []float64{float64(i) * 0.5, float64(i) * 1.5})
+	}
+	grid := NewPoints(400, 2)
+	k := 0
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			grid.Set(k, []float64{float64(i), float64(j)})
+			k++
+		}
+	}
+	return map[string]Points{
+		"Uniform":      Uniform(3000, 2, 1),
+		"InSphere":     InSphere(3000, 2, 2),
+		"OnSphere":     OnSphere(3000, 2, 3),
+		"SeedSpreader": SeedSpreader(3000, 2, 4),
+		"Collinear":    collinear,
+		"Grid":         grid,
+	}
+}
+
+func TestHull2DAlgorithmsEquivalent(t *testing.T) {
+	for name, pts := range hull2DInputs() {
+		ref := canonicalHull2D(pts, ConvexHull2D(pts, Hull2DMonotoneChain))
+		for _, a := range hull2DAlgs[1:] {
+			h := ConvexHull2D(pts, a.alg)
+			got := canonicalHull2D(pts, h)
+			if !coords2Equal(got, ref) {
+				t.Fatalf("%s/%s: canonical vertex set differs (%d vs %d vertices)",
+					name, a.name, len(got), len(ref))
+			}
+			// Membership oracle: every input point inside the returned hull.
+			if len(h) >= 3 {
+				for i := 0; i < pts.Len(); i += 7 {
+					if !oracle.InHull2D(pts, h, pts.At(i), 1e-7) {
+						t.Fatalf("%s/%s: point %d outside hull", name, a.name, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func hull3DInputs() map[string]Points {
+	coplanar := NewPoints(300, 3)
+	for i := 0; i < 300; i++ {
+		x, y := float64(i%20), float64(i/20)
+		coplanar.Set(i, []float64{x, y, 2*x - 3*y + 1})
+	}
+	return map[string]Points{
+		"Uniform":  Uniform(2000, 3, 5),
+		"InSphere": InSphere(2000, 3, 6),
+		"OnSphere": OnSphere(2000, 3, 7),
+		"Coplanar": coplanar,
+	}
+}
+
+func TestHull3DAlgorithmsEquivalent(t *testing.T) {
+	for name, pts := range hull3DInputs() {
+		var refSet [][3]float64
+		refNil := false
+		for ai, a := range hull3DAlgs {
+			facets := ConvexHull3D(pts, a.alg)
+			if len(facets) == 0 {
+				if ai == 0 {
+					refNil = true
+				} else if !refNil {
+					t.Fatalf("%s/%s: empty hull where %s found one", name, a.name, hull3DAlgs[0].name)
+				}
+				continue
+			}
+			if refNil {
+				t.Fatalf("%s/%s: found a hull where %s returned none", name, a.name, hull3DAlgs[0].name)
+			}
+			verts := HullVertices(facets)
+			set := make([][3]float64, len(verts))
+			for i, id := range verts {
+				p := pts.At(int(id))
+				set[i] = [3]float64{p[0], p[1], p[2]}
+			}
+			sort.Slice(set, func(a, b int) bool {
+				if set[a][0] != set[b][0] {
+					return set[a][0] < set[b][0]
+				}
+				if set[a][1] != set[b][1] {
+					return set[a][1] < set[b][1]
+				}
+				return set[a][2] < set[b][2]
+			})
+			if ai == 0 {
+				refSet = set
+				continue
+			}
+			if len(set) != len(refSet) {
+				t.Fatalf("%s/%s: %d hull vertices, reference has %d",
+					name, a.name, len(set), len(refSet))
+			}
+			for i := range set {
+				if set[i] != refSet[i] {
+					t.Fatalf("%s/%s: vertex set differs at %d: %v vs %v",
+						name, a.name, i, set[i], refSet[i])
+				}
+			}
+			// Membership oracle on a sample of the input.
+			for i := 0; i < pts.Len(); i += 11 {
+				if !oracle.InHull3D(pts, facets, pts.At(i), 1e-7) {
+					t.Fatalf("%s/%s: point %d outside hull", name, a.name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSEBAlgorithmsEquivalent(t *testing.T) {
+	collinear := NewPoints(64, 3)
+	for i := 0; i < 64; i++ {
+		collinear.Set(i, []float64{float64(i), 2 * float64(i), -float64(i)})
+	}
+	dup := NewPoints(200, 3)
+	base := Uniform(50, 3, 9)
+	for i := 0; i < 200; i++ {
+		dup.Set(i, base.At(i%50))
+	}
+	inputs := map[string]Points{
+		"Uniform":    Uniform(2000, 3, 8),
+		"OnSphere":   OnSphere(2000, 3, 9),
+		"InSphere5D": InSphere(1500, 5, 10),
+		"Collinear":  collinear,
+		"Duplicated": dup,
+	}
+	for name, pts := range inputs {
+		ref := SmallestEnclosingBall(pts, SEBWelzlSeq)
+		refR := math.Sqrt(ref.SqRadius)
+		for _, a := range sebAlgs[1:] {
+			b := SmallestEnclosingBall(pts, a.alg)
+			r := math.Sqrt(b.SqRadius)
+			if math.Abs(r-refR) > 1e-9*(1+refR) {
+				t.Fatalf("%s/%s: radius %.15g, reference %.15g (diff %g)",
+					name, a.name, r, refR, math.Abs(r-refR))
+			}
+			// The ball must actually enclose every point (within tolerance).
+			for i := 0; i < pts.Len(); i += 13 {
+				d := dist(b.Center[:pts.Dim], pts.At(i))
+				if d > r*(1+1e-9)+1e-9 {
+					t.Fatalf("%s/%s: point %d outside ball (%g > %g)", name, a.name, i, d, r)
+				}
+			}
+		}
+	}
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// TestClosestPairMatchesOracle ties the facade's closest-pair to the O(n²)
+// reference on every distribution (small n keeps the oracle cheap).
+func TestClosestPairMatchesOracle(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			pts := Uniform(300, dim, seed)
+			got := ClosestPair(pts)
+			_, _, wantD := oracle.ClosestPair(pts)
+			if got.SqDist != wantD {
+				t.Fatalf("d%d seed %d: closest pair sqdist %v, oracle %v",
+					dim, seed, got.SqDist, wantD)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Serving: drive the concurrent spatial query engine from many client
+// goroutines at once — the workload the BDL-tree's batch-dynamic design
+// targets. A fleet of couriers streams position updates while concurrent
+// clients ask "which couriers are nearest me?" and "how many couriers are
+// in this district?". The engine gives every query a fully committed
+// snapshot (no locks on the read path), coalesces concurrent updates into
+// BDL-tree batches, and groups concurrent queries into shared data-parallel
+// passes.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pargeo"
+)
+
+func main() {
+	const (
+		dim      = 2
+		couriers = 20000 // fleet size
+		movers   = 2     // goroutines streaming position updates
+		clients  = 8     // goroutines issuing queries
+		moveB    = 1000  // couriers re-positioned per update batch
+		rounds   = 20    // update batches per mover
+	)
+
+	e := pargeo.NewEngine(dim, pargeo.EngineOptions{})
+
+	// Seed the fleet. Each mover owns a disjoint slice of couriers so its
+	// delete+insert batches never collide with another mover's.
+	fleet := pargeo.Uniform(couriers, dim, 1)
+	res := e.Insert(fleet)
+	fmt.Printf("fleet of %d couriers live at epoch %d\n", e.Size(), res.Epoch)
+
+	var queries, updates atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for m := 0; m < movers; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo := m * (couriers / movers)
+			for r := 0; r < rounds; r++ {
+				// Old positions out, new positions in — one atomic commit.
+				off := lo + (r*moveB)%(couriers/movers-moveB)
+				old := fleet.Slice(off, off+moveB)
+				moved := pargeo.Uniform(moveB, dim, uint64(m*rounds+r)+100)
+				e.Update(moved, old)
+				// Keep the local record current for the next round.
+				copy(old.Data, moved.Data)
+				updates.Add(1)
+			}
+		}()
+	}
+
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probes := pargeo.Uniform(64, dim, uint64(c)+500)
+			for i := 0; !stop.Load(); i = (i + 1) % probes.Len() {
+				q := probes.At(i)
+				// Nearest 3 couriers to this client.
+				near := e.KNN(q, 3)
+				// District load: couriers within a 10x10 box, answered on
+				// the same engine concurrently with the k-NN traffic.
+				district := pargeo.Box{
+					Min: []float64{q[0] - 5, q[1] - 5},
+					Max: []float64{q[0] + 5, q[1] + 5},
+				}
+				n := e.RangeCount(district)
+				if len(near) != 3 || n < 0 {
+					panic("serving: impossible answer")
+				}
+				queries.Add(2)
+			}
+		}()
+	}
+
+	// Movers run a fixed workload; clients stream until the fleet settles.
+	go func() {
+		for updates.Load() < int64(movers*rounds) {
+			time.Sleep(time.Millisecond)
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// A snapshot is a stable view: multiple queries against it agree with
+	// each other even while the engine keeps moving underneath.
+	snap := e.Snapshot()
+	everything := pargeo.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}
+	fmt.Printf("final epoch %d, fleet size %d (snapshot count %d)\n",
+		snap.Epoch(), snap.Size(), snap.RangeCount(everything))
+	fmt.Printf("%d queries and %d update batches in %v (%.0f queries/s)\n",
+		queries.Load(), updates.Load(), elapsed.Round(time.Millisecond),
+		float64(queries.Load())/elapsed.Seconds())
+	if snap.Size() != couriers {
+		panic("serving: fleet size drifted")
+	}
+}

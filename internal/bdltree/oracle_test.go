@@ -1,0 +1,179 @@
+package bdltree
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/oracle"
+)
+
+// Differential tests for the BDL-tree: after every batch insertion and
+// deletion, k-NN and range queries are re-answered by the brute-force
+// oracle over a sequentially maintained model of the live set. The model
+// mirrors the tree's delete-by-coordinates semantics (a batch point removes
+// every live point with equal coordinates).
+
+// verify checks tree k-NN and range answers against the oracle over the
+// model's current live set.
+func verifyModel(t *testing.T, tr *Tree, m *oracle.LiveSet, seed uint64, label string) {
+	t.Helper()
+	if tr.Size() != len(m.IDs) {
+		t.Fatalf("%s: tree size %d, model %d", label, tr.Size(), len(m.IDs))
+	}
+	live := m.Points()
+
+	// k-NN at external probes, compared by distance sequences.
+	probes := generators.UniformCube(6, m.Dim, seed)
+	for _, k := range []int{1, 4, 10} {
+		res := tr.KNN(probes, k, nil)
+		for qi := 0; qi < probes.Len(); qi++ {
+			q := probes.At(qi)
+			wantD := oracle.KNNDists(live, q, k, -1)
+			if len(res[qi]) != len(wantD) {
+				t.Fatalf("%s: k=%d probe %d returned %d of %d", label, k, qi, len(res[qi]), len(wantD))
+			}
+			for j, gid := range res[qi] {
+				c := m.CoordsOf(gid)
+				if c == nil {
+					t.Fatalf("%s: k=%d returned dead/unknown gid %d", label, k, gid)
+				}
+				if d := geom.SqDist(q, c); d != wantD[j] {
+					t.Fatalf("%s: k=%d probe %d dist[%d]=%v oracle %v", label, k, qi, j, d, wantD[j])
+				}
+			}
+		}
+	}
+
+	// Range queries compared as exact gid sets.
+	if live.Len() > 0 {
+		bb := geom.EmptyBox(m.Dim)
+		for i := 0; i < live.Len(); i++ {
+			bb.Expand(live.At(i))
+		}
+		mid := make([]float64, m.Dim)
+		for c := 0; c < m.Dim; c++ {
+			mid[c] = (bb.Min[c] + bb.Max[c]) / 2
+		}
+		boxes := []geom.Box{
+			{Min: bb.Min, Max: bb.Max},                                    // everything
+			{Min: bb.Min, Max: mid},                                       // corner
+			{Min: append([]float64(nil), live.At(0)...), Max: live.At(0)}, // degenerate on a point
+			{Min: mid, Max: append([]float64(nil), bb.Max...)},            // opposite corner
+		}
+		for bi, box := range boxes {
+			wantIdx := oracle.RangeSearch(live, box)
+			want := make([]int32, len(wantIdx))
+			for i, li := range wantIdx {
+				want[i] = m.IDs[li]
+			}
+			got := tr.RangeSearch(box)
+			if !sameGidSet(got, want) {
+				t.Fatalf("%s: box %d gid set mismatch (%d vs %d)", label, bi, len(got), len(want))
+			}
+			if cnt := tr.RangeCount(box); cnt != len(want) {
+				t.Fatalf("%s: box %d count %d, oracle %d", label, bi, cnt, len(want))
+			}
+		}
+	}
+}
+
+func sameGidSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int32(nil), a...)
+	bs := append([]int32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBDLTreeMatchesOracleAfterUpdates(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(n, dim int, seed uint64) geom.Points
+	}{
+		{"Uniform", generators.UniformCube},
+		{"InSphere", generators.InSphere},
+		{"OnSphere", generators.OnSphere},
+		{"SeedSpreader", generators.SeedSpreader},
+	}
+	for _, g := range gens {
+		for _, dim := range []int{2, 3} {
+			t.Run(fmt.Sprintf("%s/d%d", g.name, dim), func(t *testing.T) {
+				tr := New(dim, Options{BufferSize: 32})
+				m := &oracle.LiveSet{Dim: dim}
+				var batches []geom.Points
+				for round := 0; round < 6; round++ {
+					seed := uint64(round)*11 + 1
+					batch := g.gen(150, dim, seed)
+					batches = append(batches, batch)
+					ids := tr.Insert(batch)
+					m.Insert(ids, batch)
+					verifyModel(t, tr, m, seed*3+1, fmt.Sprintf("after insert %d", round))
+
+					if round >= 2 {
+						// Delete half of an old batch (coordinate matching).
+						old := batches[round-2]
+						sub := geom.Points{Data: old.Data[:75*dim], Dim: dim}
+						got := tr.Delete(sub)
+						want := m.Remove(sub)
+						if got != want {
+							t.Fatalf("round %d: tree removed %d, model %d", round, got, want)
+						}
+						verifyModel(t, tr, m, seed*5+2, fmt.Sprintf("after delete %d", round))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBDLTreeDuplicatesAndDegenerate: duplicate coordinates (batch deletion
+// must take every copy) and an all-identical point set.
+func TestBDLTreeDuplicatesAndDegenerate(t *testing.T) {
+	tr := New(2, Options{BufferSize: 16})
+	m := &oracle.LiveSet{Dim: 2}
+
+	base := generators.UniformCube(60, 2, 3)
+	dup := geom.NewPoints(180, 2)
+	for i := 0; i < 180; i++ {
+		dup.Set(i, base.At(i%60))
+	}
+	ids := tr.Insert(dup)
+	m.Insert(ids, dup)
+	verifyModel(t, tr, m, 9, "duplicates inserted")
+
+	// Deleting one batch row must kill all three copies of each point.
+	sub := geom.Points{Data: base.Data[:20*2], Dim: 2}
+	got := tr.Delete(sub)
+	want := m.Remove(sub)
+	if got != 60 || got != want {
+		t.Fatalf("duplicate delete removed %d (model %d), want 60", got, want)
+	}
+	verifyModel(t, tr, m, 10, "duplicates deleted")
+
+	// All-identical points.
+	same := geom.NewPoints(50, 2)
+	for i := 0; i < 50; i++ {
+		same.Set(i, []float64{-7.5, 4.25})
+	}
+	ids = tr.Insert(same)
+	m.Insert(ids, same)
+	verifyModel(t, tr, m, 11, "identical block inserted")
+	one := geom.Points{Data: []float64{-7.5, 4.25}, Dim: 2}
+	got = tr.Delete(one)
+	want = m.Remove(one)
+	if got != 50 || got != want {
+		t.Fatalf("identical delete removed %d (model %d), want 50", got, want)
+	}
+	verifyModel(t, tr, m, 12, "identical block deleted")
+}

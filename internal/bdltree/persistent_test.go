@@ -1,0 +1,157 @@
+package bdltree
+
+import (
+	"sort"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// sortedIDs returns the tree's live global ids, sorted.
+func sortedIDs(t *Tree) []int32 {
+	_, ids := t.Points()
+	out := append([]int32(nil), ids...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPersistentInsertPreservesParent: the parent version must be byte-for-
+// byte unaffected by persistent insertions derived from it, across enough
+// rounds to trigger static-tree destruction and rebuilding.
+func TestPersistentInsertPreservesParent(t *testing.T) {
+	base := New(3, Options{BufferSize: 32})
+	seedBatch := generators.UniformCube(200, 3, 1)
+	base.Insert(seedBatch)
+	wantIDs := sortedIDs(base)
+	wantSizes := append([]int(nil), base.TreeSizes()...)
+
+	cur := base
+	for round := 0; round < 8; round++ {
+		next, ids := cur.PersistentInsert(generators.UniformCube(75, 3, uint64(round)+2))
+		if len(ids) != 75 {
+			t.Fatalf("round %d: %d ids", round, len(ids))
+		}
+		if next.Size() != cur.Size()+75 {
+			t.Fatalf("round %d: child size %d", round, next.Size())
+		}
+		cur = next
+	}
+	if !idsEqual(sortedIDs(base), wantIDs) {
+		t.Fatal("parent id set changed under persistent inserts")
+	}
+	for i, s := range base.TreeSizes() {
+		if s != wantSizes[i] {
+			t.Fatalf("parent tree sizes changed: %v != %v", base.TreeSizes(), wantSizes)
+		}
+	}
+}
+
+// TestPersistentDeletePreservesParent: deletions must tombstone only the
+// child's bitmap copies; the parent keeps answering with the full set.
+func TestPersistentDeletePreservesParent(t *testing.T) {
+	base := New(2, Options{BufferSize: 32})
+	batch := generators.UniformCube(500, 2, 7)
+	base.Insert(batch)
+	wantSize := base.Size()
+	wantIDs := sortedIDs(base)
+
+	// Delete in slices deep enough to trigger half-capacity rebuilds.
+	cur := base
+	for off := 0; off < 400; off += 100 {
+		sub := geom.Points{Data: batch.Data[off*2 : (off+100)*2], Dim: 2}
+		next, removed := cur.PersistentDelete(sub)
+		if removed != 100 {
+			t.Fatalf("offset %d: removed %d", off, removed)
+		}
+		if next.Size() != cur.Size()-100 {
+			t.Fatalf("offset %d: child size %d", off, next.Size())
+		}
+		cur = next
+	}
+	if cur.Size() != 100 {
+		t.Fatalf("final child size %d", cur.Size())
+	}
+	if base.Size() != wantSize || !idsEqual(sortedIDs(base), wantIDs) {
+		t.Fatal("parent changed under persistent deletes")
+	}
+	// The parent's queries still see deleted points.
+	q := geom.Points{Data: batch.Data[:2], Dim: 2}
+	res := base.KNN(q, 1, nil)
+	if len(res[0]) != 1 {
+		t.Fatal("parent knn broken")
+	}
+	p, ids := base.Points()
+	found := false
+	for i := range ids {
+		if ids[i] == res[0][0] && geom.SqDist(p.At(i), q.At(0)) == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("parent must still contain the deleted point at distance 0")
+	}
+}
+
+// TestPersistentChainMatchesInPlace: a chain of persistent updates must land
+// on exactly the same live point multiset as the same updates in place.
+func TestPersistentChainMatchesInPlace(t *testing.T) {
+	inPlace := New(2, Options{BufferSize: 16})
+	persist := New(2, Options{BufferSize: 16})
+	for round := 0; round < 10; round++ {
+		b := generators.SeedSpreader(120, 2, uint64(round)+1)
+		inPlace.Insert(b)
+		persist, _ = persist.PersistentInsert(b)
+		if round%3 == 2 {
+			old := generators.SeedSpreader(120, 2, uint64(round)-1)
+			sub := geom.Points{Data: old.Data[:40*2], Dim: 2}
+			a := inPlace.Delete(sub)
+			var d int
+			persist, d = persist.PersistentDelete(sub)
+			if a != d {
+				t.Fatalf("round %d: in-place removed %d, persistent %d", round, a, d)
+			}
+		}
+		if inPlace.Size() != persist.Size() {
+			t.Fatalf("round %d: sizes diverge %d vs %d", round, inPlace.Size(), persist.Size())
+		}
+		ap, _ := inPlace.Points()
+		bp, _ := persist.Points()
+		if !sameCoordMultiset(ap, bp) {
+			t.Fatalf("round %d: live point multisets diverge", round)
+		}
+	}
+}
+
+func sameCoordMultiset(a, b geom.Points) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	count := make(map[[2]float64]int, a.Len())
+	for i := 0; i < a.Len(); i++ {
+		p := a.At(i)
+		count[[2]float64{p[0], p[1]}]++
+	}
+	for i := 0; i < b.Len(); i++ {
+		p := b.At(i)
+		count[[2]float64{p[0], p[1]}]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+// Package engine is a concurrent spatial query service over the BDL-tree:
+// it makes the batch-dynamic kd-tree of §5 safe — and fast — to share among
+// many client goroutines issuing point queries and small updates, the
+// serving shape the library's static batch API does not cover.
+//
+// # Snapshot protocol
+//
+// The engine never lets a query and an update touch the same mutable state.
+// All reads go through an immutable published Snapshot — a BDL-tree version
+// plus its epoch number — held behind a single atomic pointer:
+//
+//	queries:  load snap -> traverse the (frozen) tree version
+//	updates:  derive next version copy-on-write -> publish with one store
+//
+// Tree versions are derived with bdltree.PersistentInsert and
+// bdltree.PersistentDelete, which exploit the logarithmic method's own
+// structure: an insertion rebuilds a prefix of the static trees and shares
+// the rest with the parent version untouched; a deletion clones only the
+// per-tree tombstone bitmaps. A commit is therefore cheap, proportional to
+// the structural change, and the previous version stays valid for readers
+// that loaded it before the swap.
+//
+// Consistency guarantee: every query (and every query group, below) runs
+// entirely against one committed snapshot. A query never observes a
+// half-applied batch — the counts, ids, and neighbors it returns are exactly
+// those of some epoch's point set — and epochs observed by any single
+// goroutine are monotonically non-decreasing. Updates are linearized by the
+// commit order; Update blocks until the snapshot containing its batch is
+// published, so a client's own writes are visible to its subsequent queries.
+//
+// # Write combining
+//
+// Concurrent small updates coalesce, amortizing the BDL-tree's batch cost
+// exactly as the paper's batch-dynamic design intends (and as POP-style
+// problem granularization argues for serving paths). The first writer to
+// arrive becomes the committer; writers that arrive while a commit is in
+// flight park on a pending list, and the whole list commits as one group.
+// A committer serves exactly one group: if more writers are pending when
+// it finishes, it hands the committer baton to one of them, so no caller's
+// goroutine is conscripted into serving others indefinitely. Within one
+// commit group, deletion batches apply in arrival order (each result
+// reports its own removal count), all before any insertion; a writer
+// observing its Update return is guaranteed the whole group is committed.
+//
+// # Query grouping
+//
+// Reads combine the same way: the first querier becomes the group leader
+// and fans the collected group out through the parlay work-stealing
+// scheduler (parlay.Submit) against one snapshot load — k-NN requests with
+// equal k merge into a single data-parallel multi-query pass over the tree,
+// so a burst of N single-point queries from N goroutines costs one
+// scheduler entry, not N round-trips. A leader serves one group and hands
+// the baton on, like the committer; an uncontended query (group of one)
+// skips the grouping machinery and answers directly. Clients that need
+// several queries against the same version use Engine.Snapshot and query
+// the handle directly.
+package engine

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pargeo/internal/bdltree"
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Split selects the kd-tree splitting rule for all tree versions.
+	Split bdltree.SplitRule
+	// BufferSize is the BDL buffer-tree capacity X (0 = bdltree default).
+	BufferSize int
+}
+
+// Snapshot is one immutable committed version of the point set: a frozen
+// BDL-tree plus the epoch at which it was published. All methods are safe
+// for concurrent use and always answer from this version, regardless of
+// later commits.
+type Snapshot struct {
+	tree  *bdltree.Tree
+	epoch uint64
+}
+
+// Epoch returns the snapshot's commit epoch (0 for the empty initial
+// version).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Size returns the number of live points in the snapshot.
+func (s *Snapshot) Size() int { return s.tree.Size() }
+
+// KNN returns, for each query row, the global ids of its k nearest points,
+// data-parallel over the queries.
+func (s *Snapshot) KNN(queries geom.Points, k int) [][]int32 {
+	return s.tree.KNN(queries, k, nil)
+}
+
+// RangeSearch returns the global ids of all points inside the closed box.
+func (s *Snapshot) RangeSearch(box geom.Box) []int32 {
+	return s.tree.RangeSearch(box)
+}
+
+// RangeCount returns the number of points inside the closed box.
+func (s *Snapshot) RangeCount(box geom.Box) int {
+	return s.tree.RangeCount(box)
+}
+
+// Points returns the coordinates and global ids of the snapshot's live
+// points (a verification helper for differential tests; O(n)).
+func (s *Snapshot) Points() (geom.Points, []int32) {
+	return s.tree.Points()
+}
+
+// UpdateResult reports a committed update.
+type UpdateResult struct {
+	// IDs are the global ids assigned to this request's inserted points,
+	// in batch order.
+	IDs []int32
+	// Deleted is the number of live points removed by this request's
+	// deletion batch. Within a commit group, deletion batches apply in
+	// arrival order (all before any insertion), so a point matched by two
+	// coalesced requests is counted against the earlier one.
+	Deleted int
+	// Epoch is the epoch of the snapshot that made this update visible.
+	Epoch uint64
+}
+
+type updateReq struct {
+	ins, del geom.Points
+	res      UpdateResult
+	done     chan struct{}
+	lead     chan struct{} // baton: receiver becomes the next committer
+}
+
+const (
+	qKNN = iota
+	qRange
+	qCount
+)
+
+type queryReq struct {
+	kind  int
+	q     []float64 // qKNN
+	k     int       // qKNN
+	box   geom.Box  // qRange, qCount
+	ids   []int32   // result: qKNN, qRange
+	count int       // result: qCount
+	done  chan struct{}
+	lead  chan struct{} // baton: receiver becomes the next group leader
+}
+
+// Engine is a concurrent spatial query service over the BDL-tree. See the
+// package documentation for the snapshot/epoch protocol. All methods are
+// safe for concurrent use by any number of goroutines.
+type Engine struct {
+	dim  int
+	opts Options
+	snap atomic.Pointer[Snapshot]
+
+	// Write path: pending update requests and the committer baton.
+	wmu      sync.Mutex
+	wpending []*updateReq
+	wactive  bool
+
+	// Read path: pending query requests and the group-leader baton.
+	qmu      sync.Mutex
+	qpending []*queryReq
+	qactive  bool
+}
+
+// New returns an engine serving dim-dimensional points, publishing an empty
+// epoch-0 snapshot.
+func New(dim int, opts Options) *Engine {
+	e := &Engine{dim: dim, opts: opts}
+	e.snap.Store(&Snapshot{tree: bdltree.New(dim, bdltree.Options{
+		Split:      opts.Split,
+		BufferSize: opts.BufferSize,
+	})})
+	return e
+}
+
+// Snapshot returns the latest committed version. The handle stays valid —
+// and keeps answering from its version — for as long as the caller holds
+// it.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Size returns the live point count of the latest committed snapshot.
+func (e *Engine) Size() int { return e.Snapshot().Size() }
+
+// Epoch returns the latest committed epoch.
+func (e *Engine) Epoch() uint64 { return e.Snapshot().Epoch() }
+
+// --- write path ---------------------------------------------------------
+
+// Update atomically applies a deletion batch and an insertion batch
+// (deletions first) and blocks until the snapshot containing them is
+// published. Either batch may be empty. Concurrent updates coalesce: all
+// requests pending when a commit starts are applied together — insertions
+// as one combined BDL-tree batch — and published as a single new snapshot.
+func (e *Engine) Update(insert, del geom.Points) UpdateResult {
+	if insert.Len() > 0 && insert.Dim != e.dim {
+		panic("engine: insert batch dimension mismatch")
+	}
+	if del.Len() > 0 && del.Dim != e.dim {
+		panic("engine: delete batch dimension mismatch")
+	}
+	req := &updateReq{ins: insert, del: del, done: make(chan struct{}), lead: make(chan struct{})}
+	e.wmu.Lock()
+	e.wpending = append(e.wpending, req)
+	if e.wactive {
+		e.wmu.Unlock()
+		// Wait to be answered — or to inherit the committer baton from a
+		// leader bounding its own time in office.
+		select {
+		case <-req.done:
+			return req.res
+		case <-req.lead:
+		}
+	} else {
+		e.wactive = true
+		e.wmu.Unlock()
+	}
+	// Committer: commit the pending group (which contains this request),
+	// then either clear the baton or hand it to a still-pending waiter.
+	// One group per leader bounds every caller's latency to one commit
+	// beyond its own, however sustained the write load.
+	e.wmu.Lock()
+	group := e.wpending
+	e.wpending = nil
+	e.wmu.Unlock()
+	e.commitGroup(group)
+	e.wmu.Lock()
+	if len(e.wpending) == 0 {
+		e.wactive = false
+	} else {
+		close(e.wpending[0].lead)
+	}
+	e.wmu.Unlock()
+	return req.res
+}
+
+// Insert commits a batch of new points and returns their assigned ids.
+func (e *Engine) Insert(batch geom.Points) UpdateResult {
+	return e.Update(batch, geom.Points{Dim: e.dim})
+}
+
+// Delete commits the removal of every live point whose coordinates match a
+// batch point.
+func (e *Engine) Delete(batch geom.Points) UpdateResult {
+	return e.Update(geom.Points{Dim: e.dim}, batch)
+}
+
+// commitGroup derives the next tree version from the published snapshot
+// copy-on-write, publishes it with one atomic store, and releases the
+// waiters. Runs with the committer baton held (no concurrent commit).
+func (e *Engine) commitGroup(group []*updateReq) {
+	old := e.snap.Load()
+	tree := old.tree
+
+	// Deletions apply per request, in arrival order, so each result can
+	// report its own removal count (a combined batch could not attribute
+	// points matched by several requests). Chaining persistent deletes
+	// keeps one commit: only the final version is published.
+	perDeleted := make([]int, len(group))
+	for i, r := range group {
+		if r.del.Len() > 0 {
+			tree, perDeleted[i] = tree.PersistentDelete(r.del)
+		}
+	}
+
+	var insData []float64
+	rows := make([]int, len(group)+1) // request i inserted rows [rows[i], rows[i+1])
+	for i, r := range group {
+		rows[i] = len(insData) / e.dim
+		insData = append(insData, r.ins.Data...)
+	}
+	rows[len(group)] = len(insData) / e.dim
+	var ids []int32
+	if len(insData) > 0 {
+		tree, ids = tree.PersistentInsert(geom.Points{Data: insData, Dim: e.dim})
+	}
+
+	epoch := old.epoch
+	if tree != old.tree {
+		epoch++
+		e.snap.Store(&Snapshot{tree: tree, epoch: epoch})
+	}
+	for i, r := range group {
+		r.res = UpdateResult{Deleted: perDeleted[i], Epoch: epoch}
+		if lo, hi := rows[i], rows[i+1]; hi > lo {
+			r.res.IDs = ids[lo:hi:hi]
+		}
+		close(r.done)
+	}
+}
+
+// --- read path ----------------------------------------------------------
+
+// KNN returns the global ids of the k nearest points to q (sorted by
+// increasing distance; fewer than k when the set is smaller). Concurrent
+// calls are grouped and answered as one data-parallel pass against a
+// single snapshot.
+func (e *Engine) KNN(q []float64, k int) []int32 {
+	if len(q) != e.dim {
+		panic("engine: query dimension mismatch")
+	}
+	req := &queryReq{kind: qKNN, q: q, k: k, done: make(chan struct{}), lead: make(chan struct{})}
+	e.submitQuery(req)
+	return req.ids
+}
+
+// RangeSearch returns the global ids of all points inside the closed box.
+func (e *Engine) RangeSearch(box geom.Box) []int32 {
+	req := &queryReq{kind: qRange, box: box, done: make(chan struct{}), lead: make(chan struct{})}
+	e.submitQuery(req)
+	return req.ids
+}
+
+// RangeCount returns the number of points inside the closed box.
+func (e *Engine) RangeCount(box geom.Box) int {
+	req := &queryReq{kind: qCount, box: box, done: make(chan struct{}), lead: make(chan struct{})}
+	e.submitQuery(req)
+	return req.count
+}
+
+// submitQuery enqueues the request and either waits for a group leader to
+// answer it or becomes the leader for one group. A leader that finds more
+// queries pending after its group hands the baton to one of them instead
+// of draining the queue itself, bounding every caller's latency to one
+// group beyond its own under sustained load.
+func (e *Engine) submitQuery(req *queryReq) {
+	e.qmu.Lock()
+	e.qpending = append(e.qpending, req)
+	if e.qactive {
+		e.qmu.Unlock()
+		select {
+		case <-req.done:
+			return
+		case <-req.lead:
+		}
+	} else {
+		e.qactive = true
+		e.qmu.Unlock()
+	}
+	e.qmu.Lock()
+	group := e.qpending
+	e.qpending = nil
+	e.qmu.Unlock()
+	e.runGroup(group)
+	e.qmu.Lock()
+	if len(e.qpending) == 0 {
+		e.qactive = false
+	} else {
+		close(e.qpending[0].lead)
+	}
+	e.qmu.Unlock()
+}
+
+// runGroup answers one query group against a single snapshot load. k-NN
+// requests sharing a k merge into one multi-query KNN pass; every pass and
+// every range query of the group fans out through one parlay batch
+// submission.
+func (e *Engine) runGroup(group []*queryReq) {
+	snap := e.snap.Load()
+	// Solo fast path: an uncontended query (the common case at low
+	// concurrency) skips the grouping machinery and answers directly.
+	if len(group) == 1 {
+		r := group[0]
+		switch r.kind {
+		case qKNN:
+			r.ids = snap.tree.KNN(geom.Points{Data: r.q, Dim: e.dim}, r.k, nil)[0]
+		case qRange:
+			r.ids = snap.tree.RangeSearch(r.box)
+		case qCount:
+			r.count = snap.tree.RangeCount(r.box)
+		}
+		close(r.done)
+		return
+	}
+	var thunks []func()
+	byK := make(map[int][]*queryReq)
+	for _, r := range group {
+		switch r.kind {
+		case qKNN:
+			byK[r.k] = append(byK[r.k], r)
+		case qRange:
+			r := r
+			thunks = append(thunks, func() { r.ids = snap.tree.RangeSearch(r.box) })
+		case qCount:
+			r := r
+			thunks = append(thunks, func() { r.count = snap.tree.RangeCount(r.box) })
+		}
+	}
+	for k, reqs := range byK {
+		k, reqs := k, reqs
+		batch := geom.NewPoints(len(reqs), e.dim)
+		for i, r := range reqs {
+			batch.Set(i, r.q)
+		}
+		thunks = append(thunks, func() {
+			res := snap.tree.KNN(batch, k, nil)
+			for i, r := range reqs {
+				r.ids = res[i]
+			}
+		})
+	}
+	parlay.Submit(thunks).Wait()
+	for _, r := range group {
+		close(r.done)
+	}
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/oracle"
+)
+
+// The stress test drives the engine from many goroutines at once and checks
+// the package's consistency guarantee from the outside:
+//
+//   - Slab all-or-nothing: each writer owns disjoint coordinate slabs and
+//     always inserts or deletes a slab's full batch in one Update, so ANY
+//     committed snapshot holds either all B points of a slab or none.
+//     A reader observing a partial slab count has seen a torn commit.
+//   - Snapshot self-consistency: for any snapshot handle, Size() must equal
+//     a full-universe RangeCount and the anchor k-NN answer must be the
+//     fixed known set — regardless of commits racing past it.
+//   - Epoch monotonicity per goroutine.
+//   - Oracle agreement: after every committed batch, the owning writer
+//     brute-force-checks its slab's range and k-NN answers on a fresh
+//     snapshot.
+//
+// Run with -race; the test is sized to stay useful under `-race -short`.
+
+const (
+	slabSide  = 5.0  // slab extent in x and y
+	slabPitch = 10.0 // x spacing between slab origins
+	slabB     = 200  // points per slab batch
+)
+
+// slabBatch returns slab s's full deterministic batch: a grid of distinct
+// coordinates inside [s*pitch, s*pitch+side] x [0, side].
+func slabBatch(s int) geom.Points {
+	pts := geom.NewPoints(slabB, 2)
+	for j := 0; j < slabB; j++ {
+		pts.Set(j, []float64{
+			float64(s)*slabPitch + float64(j%50)*0.1,
+			float64(j/50) * 0.1,
+		})
+	}
+	return pts
+}
+
+func slabBox(s int) geom.Box {
+	x0 := float64(s) * slabPitch
+	return geom.Box{Min: []float64{x0 - 0.5, -0.5}, Max: []float64{x0 + slabSide + 0.5, slabSide + 0.5}}
+}
+
+func universeBox() geom.Box {
+	return geom.Box{Min: []float64{-1e12, -1e12}, Max: []float64{1e12, 1e12}}
+}
+
+func TestEngineStress(t *testing.T) {
+	const (
+		writers = 2
+		readers = 6
+	)
+	slabsPerWriter := 3
+	iters := 40
+	if testing.Short() {
+		iters = 12
+	}
+
+	e := New(2, Options{BufferSize: 64})
+
+	// Anchors: a far-away fixed constellation never touched by writers. The
+	// 8-NN of the probe is the same exact id sequence in every committed
+	// snapshot, so any reader can verify k-NN answers at any time.
+	anchors := geom.NewPoints(64, 2)
+	for j := 0; j < 64; j++ {
+		anchors.Set(j, []float64{1e6 + float64(j)*0.5, 0})
+	}
+	ares := e.Insert(anchors)
+	anchorProbe := []float64{1e6 - 1, 0}
+	wantAnchors := ares.IDs[:8] // distances strictly increase with j
+
+	var stop atomic.Bool
+	var wwg, rwg sync.WaitGroup
+	errs := make(chan string, writers+readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+		stop.Store(true)
+	}
+
+	// checkSlabOracle brute-force-verifies slab s on a fresh snapshot,
+	// expecting the slab present (full=true) or absent.
+	checkSlabOracle := func(s int, full bool) {
+		snap := e.Snapshot()
+		box := slabBox(s)
+		got := snap.RangeSearch(box)
+		want := 0
+		if full {
+			want = slabB
+		}
+		if len(got) != want {
+			fail("slab %d: committed range has %d points, want %d", s, len(got), want)
+			return
+		}
+		if !full {
+			return
+		}
+		// k-NN at the slab's origin must match brute force over the batch.
+		batch := slabBatch(s)
+		q := batch.At(0)
+		ids := snap.KNN(geom.Points{Data: q, Dim: 2}, 4)[0]
+		wantD := oracle.KNNDists(batch, q, 4, -1)
+		coords, gids := snap.Points()
+		byID := make(map[int32][]float64, len(gids))
+		for i, g := range gids {
+			byID[g] = coords.At(i)
+		}
+		for j, id := range ids {
+			if geom.SqDist(q, byID[id]) != wantD[j] {
+				fail("slab %d: knn dist %d mismatches oracle", s, j)
+				return
+			}
+		}
+	}
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for it := 0; it < iters && !stop.Load(); it++ {
+				s := writers*(it%slabsPerWriter) + w // own slabs only
+				batch := slabBatch(s)
+				res := e.Insert(batch)
+				if len(res.IDs) != slabB {
+					fail("writer %d: insert returned %d ids", w, len(res.IDs))
+					return
+				}
+				checkSlabOracle(s, true)
+				// Deleted is per-request, so the count is exact even when
+				// the request coalesces with another writer's commit group.
+				if del := e.Delete(batch); del.Deleted != slabB {
+					fail("writer %d: deleted %d, want %d", w, del.Deleted, slabB)
+					return
+				}
+				checkSlabOracle(s, false)
+			}
+		}()
+	}
+
+	for r := 0; r < readers; r++ {
+		r := r
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			lastEpoch := uint64(0)
+			rng := uint64(r)*0x9e3779b97f4a7c15 + 1
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				s := int(rng % uint64(writers*slabsPerWriter))
+				// All-or-nothing slab observation through the engine facade.
+				if c := e.RangeCount(slabBox(s)); c != 0 && c != slabB {
+					fail("reader %d: torn slab %d count %d", r, s, c)
+					return
+				}
+				// Snapshot self-consistency + epoch monotonicity.
+				snap := e.Snapshot()
+				if snap.Epoch() < lastEpoch {
+					fail("reader %d: epoch went backward %d -> %d", r, lastEpoch, snap.Epoch())
+					return
+				}
+				lastEpoch = snap.Epoch()
+				if got := snap.RangeCount(universeBox()); got != snap.Size() {
+					fail("reader %d: snapshot universe count %d != size %d", r, got, snap.Size())
+					return
+				}
+				// The anchor constellation answers identically forever.
+				got := e.KNN(anchorProbe, 8)
+				if len(got) != 8 {
+					fail("reader %d: anchor knn returned %d", r, len(got))
+					return
+				}
+				for j := range got {
+					if got[j] != wantAnchors[j] {
+						fail("reader %d: anchor knn[%d]=%d want %d", r, j, got[j], wantAnchors[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Writers run a fixed workload; once they finish, stop the readers.
+	wwg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,208 @@
+// Package oracle provides brute-force reference implementations of the
+// spatial queries the library answers with trees and clever geometry:
+// k-nearest neighbors, orthogonal range search and count, closest pair,
+// and convex-hull membership. Everything here is deliberately O(n·k) or
+// O(n²) straight-line code with no data structures — slow, obviously
+// correct, and therefore usable as the ground truth in differential tests
+// across every package. Production code must not import it.
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"pargeo/internal/geom"
+)
+
+// KNN returns the indices of the k points of pts nearest to q, sorted by
+// increasing squared distance (ties broken by index). exclude is a point
+// index to skip (-1 for none). Fewer than k indices are returned when the
+// set is smaller.
+func KNN(pts geom.Points, q []float64, k int, exclude int32) []int32 {
+	n := pts.Len()
+	type cand struct {
+		id int32
+		d  float64
+	}
+	cands := make([]cand, 0, n)
+	for i := 0; i < n; i++ {
+		if int32(i) == exclude {
+			continue
+		}
+		cands = append(cands, cand{int32(i), geom.SqDist(q, pts.At(i))})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].id < cands[b].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// KNNDists returns the sorted squared distances from q to its k nearest
+// points (the tie-insensitive signature of a k-NN answer: two correct
+// results may pick different equidistant points, but never different
+// distances).
+func KNNDists(pts geom.Points, q []float64, k int, exclude int32) []float64 {
+	ids := KNN(pts, q, k, exclude)
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = geom.SqDist(q, pts.At(int(id)))
+	}
+	return out
+}
+
+// LiveSet is a sequential model of a batch-dynamic structure's live point
+// set (global id -> coordinates), mirroring the BDL-tree's
+// delete-by-coordinates semantics: removing a batch point removes every
+// live point with equal coordinates. Differential tests maintain one
+// alongside the structure under test and answer reference queries over
+// Points() with this package's brute-force functions.
+type LiveSet struct {
+	Dim    int
+	IDs    []int32
+	Coords []float64
+}
+
+// Insert records a committed batch and the global ids it was assigned.
+func (m *LiveSet) Insert(ids []int32, pts geom.Points) {
+	m.IDs = append(m.IDs, ids...)
+	m.Coords = append(m.Coords, pts.Data...)
+}
+
+// Remove deletes every live point whose coordinates exactly match a batch
+// point (order not preserved) and returns the number removed.
+func (m *LiveSet) Remove(batch geom.Points) int {
+	removed := 0
+	for bi := 0; bi < batch.Len(); bi++ {
+		q := batch.At(bi)
+		for i := 0; i < len(m.IDs); {
+			same := true
+			for c := 0; c < m.Dim; c++ {
+				if m.Coords[i*m.Dim+c] != q[c] {
+					same = false
+					break
+				}
+			}
+			if same {
+				last := len(m.IDs) - 1
+				m.IDs[i] = m.IDs[last]
+				copy(m.Coords[i*m.Dim:(i+1)*m.Dim], m.Coords[last*m.Dim:(last+1)*m.Dim])
+				m.IDs = m.IDs[:last]
+				m.Coords = m.Coords[:last*m.Dim]
+				removed++
+			} else {
+				i++
+			}
+		}
+	}
+	return removed
+}
+
+// Points returns the live coordinates as a buffer whose row i carries
+// global id IDs[i].
+func (m *LiveSet) Points() geom.Points {
+	return geom.Points{Data: m.Coords, Dim: m.Dim}
+}
+
+// CoordsOf returns the coordinates of a live global id (nil if dead or
+// never assigned).
+func (m *LiveSet) CoordsOf(id int32) []float64 {
+	for i, g := range m.IDs {
+		if g == id {
+			return m.Coords[i*m.Dim : (i+1)*m.Dim]
+		}
+	}
+	return nil
+}
+
+// RangeSearch returns the indices of all points inside the closed box, in
+// increasing order.
+func RangeSearch(pts geom.Points, box geom.Box) []int32 {
+	var out []int32
+	for i := 0; i < pts.Len(); i++ {
+		if box.Contains(pts.At(i)) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// RangeCount returns the number of points inside the closed box.
+func RangeCount(pts geom.Points, box geom.Box) int {
+	return len(RangeSearch(pts, box))
+}
+
+// ClosestPair returns the indices (i < j) and squared distance of the
+// closest pair of distinct points by exhaustive O(n²) comparison (ties
+// broken by lexicographic index pair).
+func ClosestPair(pts geom.Points) (i, j int32, sqDist float64) {
+	n := pts.Len()
+	bi, bj, bd := int32(-1), int32(-1), 0.0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			d := pts.SqDist(a, b)
+			if bi < 0 || d < bd {
+				bi, bj, bd = int32(a), int32(b), d
+			}
+		}
+	}
+	return bi, bj, bd
+}
+
+// InHull2D reports whether q lies inside or on the convex polygon whose
+// vertices are pts rows hull (in counterclockwise order), within tolerance
+// eps on each edge's line equation.
+func InHull2D(pts geom.Points, hull []int32, q []float64, eps float64) bool {
+	m := len(hull)
+	if m == 0 {
+		return false
+	}
+	if m == 1 {
+		p := pts.At(int(hull[0]))
+		return geom.Dist(p, q) <= eps
+	}
+	for i := 0; i < m; i++ {
+		a := pts.At(int(hull[i]))
+		b := pts.At(int(hull[(i+1)%m]))
+		// q must not be strictly right of the directed edge a->b.
+		cross := (b[0]-a[0])*(q[1]-a[1]) - (b[1]-a[1])*(q[0]-a[0])
+		if cross < -eps {
+			return false
+		}
+	}
+	return true
+}
+
+// InHull3D reports whether q lies inside or on the convex polyhedron given
+// by CCW facet triples over pts, within tolerance eps on each facet's
+// plane equation (normalized by the facet normal's length).
+func InHull3D(pts geom.Points, facets [][3]int32, q []float64, eps float64) bool {
+	if len(facets) == 0 {
+		return false
+	}
+	for _, f := range facets {
+		a, b, c := pts.At(int(f[0])), pts.At(int(f[1])), pts.At(int(f[2]))
+		ux, uy, uz := b[0]-a[0], b[1]-a[1], b[2]-a[2]
+		vx, vy, vz := c[0]-a[0], c[1]-a[1], c[2]-a[2]
+		nx, ny, nz := uy*vz-uz*vy, uz*vx-ux*vz, ux*vy-uy*vx
+		nlen := nx*nx + ny*ny + nz*nz
+		if nlen == 0 {
+			continue // degenerate facet constrains nothing
+		}
+		d := nx*(q[0]-a[0]) + ny*(q[1]-a[1]) + nz*(q[2]-a[2])
+		// q must not be strictly outside (positive side of a CCW facet).
+		if d > eps*math.Sqrt(nlen) {
+			return false
+		}
+	}
+	return true
+}

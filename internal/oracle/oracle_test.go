@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"testing"
+
+	"pargeo/internal/geom"
+)
+
+// The oracle is itself verified on tiny hand-checkable inputs — if the
+// ground truth is wrong, every differential test downstream is meaningless.
+
+func square() geom.Points {
+	p := geom.NewPoints(4, 2)
+	p.Set(0, []float64{0, 0})
+	p.Set(1, []float64{2, 0})
+	p.Set(2, []float64{2, 2})
+	p.Set(3, []float64{0, 2})
+	return p
+}
+
+func TestKNNByHand(t *testing.T) {
+	p := square()
+	got := KNN(p, []float64{0.1, 0.1}, 2, -1)
+	if len(got) != 2 || got[0] != 0 {
+		t.Fatalf("nearest to (0.1,0.1) must be point 0: %v", got)
+	}
+	// Equidistant ties break by index: from the center all four corners tie.
+	got = KNN(p, []float64{1, 1}, 3, -1)
+	want := []int32{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break by index: got %v", got)
+		}
+	}
+	if got := KNN(p, []float64{0, 0}, 4, 0); len(got) != 3 {
+		t.Fatalf("exclude must drop point 0: %v", got)
+	}
+	if d := KNNDists(p, []float64{0, 0}, 1, -1); d[0] != 0 {
+		t.Fatalf("distance to self is 0, got %v", d)
+	}
+}
+
+func TestRangeByHand(t *testing.T) {
+	p := square()
+	box := geom.Box{Min: []float64{-1, -1}, Max: []float64{2, 0.5}}
+	got := RangeSearch(p, box)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("bottom edge box must hold points 0,1: %v", got)
+	}
+	// Closed-box semantics: the boundary is inside.
+	box = geom.Box{Min: []float64{0, 0}, Max: []float64{0, 0}}
+	if RangeCount(p, box) != 1 {
+		t.Fatalf("degenerate box on a point must count it")
+	}
+}
+
+func TestClosestPairByHand(t *testing.T) {
+	p := geom.NewPoints(4, 2)
+	p.Set(0, []float64{0, 0})
+	p.Set(1, []float64{10, 0})
+	p.Set(2, []float64{10.5, 0})
+	p.Set(3, []float64{5, 5})
+	i, j, d := ClosestPair(p)
+	if i != 1 || j != 2 || d != 0.25 {
+		t.Fatalf("closest pair (1,2,0.25), got (%d,%d,%v)", i, j, d)
+	}
+}
+
+func TestHullMembership2D(t *testing.T) {
+	p := square()
+	hull := []int32{0, 1, 2, 3} // CCW
+	if !InHull2D(p, hull, []float64{1, 1}, 1e-12) {
+		t.Fatal("center is inside")
+	}
+	if !InHull2D(p, hull, []float64{0, 1}, 1e-12) {
+		t.Fatal("edge point is inside (closed hull)")
+	}
+	if InHull2D(p, hull, []float64{-0.01, 1}, 1e-12) {
+		t.Fatal("outside point accepted")
+	}
+}
+
+func TestHullMembership3D(t *testing.T) {
+	p := geom.NewPoints(4, 3)
+	p.Set(0, []float64{0, 0, 0})
+	p.Set(1, []float64{1, 0, 0})
+	p.Set(2, []float64{0, 1, 0})
+	p.Set(3, []float64{0, 0, 1})
+	// CCW facets of the tetrahedron (outward normals).
+	facets := [][3]int32{{0, 2, 1}, {0, 1, 3}, {0, 3, 2}, {1, 2, 3}}
+	if !InHull3D(p, facets, []float64{0.1, 0.1, 0.1}, 1e-12) {
+		t.Fatal("interior point rejected")
+	}
+	if InHull3D(p, facets, []float64{1, 1, 1}, 1e-12) {
+		t.Fatal("exterior point accepted")
+	}
+	if !InHull3D(p, facets, []float64{0.5, 0.5, 0}, 1e-12) {
+		t.Fatal("facet point is inside (closed hull)")
+	}
+}

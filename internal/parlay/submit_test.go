@@ -1,0 +1,95 @@
+package parlay
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSubmitRunsAll: every submitted thunk runs exactly once before Wait
+// returns, from both external goroutines and (nested) worker goroutines.
+func TestSubmitRunsAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256} {
+		var ran atomic.Int64
+		thunks := make([]func(), n)
+		for i := range thunks {
+			thunks[i] = func() { ran.Add(1) }
+		}
+		Submit(thunks).Wait()
+		if got := ran.Load(); got != int64(n) {
+			t.Fatalf("external submit n=%d: ran %d", n, got)
+		}
+	}
+	// Nested: submit from inside a scheduler task.
+	var ran atomic.Int64
+	Do(func() {
+		thunks := make([]func(), 64)
+		for i := range thunks {
+			thunks[i] = func() { ran.Add(1) }
+		}
+		Submit(thunks).Wait()
+	}, func() {})
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("nested submit: ran %d", got)
+	}
+}
+
+// TestSubmitAsync: Submit must return before the thunks complete (the
+// submitter keeps working between Submit and Wait); Wait then observes all
+// effects.
+func TestSubmitAsync(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("needs a worker to run the batch")
+	}
+	gate := make(chan struct{})
+	var ran atomic.Int64
+	h := Submit([]func(){func() { <-gate; ran.Add(1) }})
+	// If Submit ran the thunk inline it would have deadlocked on the gate.
+	close(gate)
+	h.Wait()
+	if ran.Load() != 1 {
+		t.Fatal("thunk did not run")
+	}
+}
+
+// TestSubmitConcurrentBatches: many goroutines submitting and waiting on
+// independent batches simultaneously (the engine combiner's usage shape).
+func TestSubmitConcurrentBatches(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				var ran atomic.Int64
+				thunks := make([]func(), 8)
+				for i := range thunks {
+					thunks[i] = func() { ran.Add(1) }
+				}
+				Submit(thunks).Wait()
+				if ran.Load() != 8 {
+					t.Error("batch incomplete")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSubmitSeqMode: with GOMAXPROCS=1 the thunks run inside Wait on the
+// calling goroutine, never touching the scheduler.
+func TestSubmitSeqMode(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	ran := 0
+	h := Submit([]func(){func() { ran++ }, func() { ran++ }})
+	if ran != 0 {
+		t.Fatal("seq-mode thunks must defer to Wait")
+	}
+	h.Wait()
+	if ran != 2 {
+		t.Fatalf("ran %d", ran)
+	}
+}

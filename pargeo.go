@@ -31,6 +31,7 @@ import (
 	"pargeo/internal/closestpair"
 	"pargeo/internal/delaunay"
 	"pargeo/internal/emst"
+	"pargeo/internal/engine"
 	"pargeo/internal/generators"
 	"pargeo/internal/geom"
 	"pargeo/internal/graphgen"
@@ -123,6 +124,30 @@ func NewB1(dim int, split SplitRule) DynamicTree { return bdltree.NewB1(dim, spl
 
 // NewB2 returns the insert-in-place / tombstone baseline.
 func NewB2(dim int, split SplitRule) DynamicTree { return bdltree.NewB2(dim, split) }
+
+// --- concurrent query engine (serving path) --------------------------------
+
+// Engine is a concurrent spatial query service over the BDL-tree: any
+// number of goroutines may issue KNN / RangeSearch / RangeCount queries and
+// batched updates concurrently. Queries always observe a fully committed
+// snapshot (epoch/pointer-swap protocol), concurrent small updates coalesce
+// into BDL-tree batches, and bursts of concurrent queries are grouped into
+// single data-parallel passes. See internal/engine for the protocol.
+type Engine = engine.Engine
+
+// EngineOptions configure an Engine.
+type EngineOptions = engine.Options
+
+// EngineSnapshot is an immutable committed version of an Engine's point
+// set; query it directly for multi-query consistency.
+type EngineSnapshot = engine.Snapshot
+
+// UpdateResult reports a committed Engine update.
+type UpdateResult = engine.UpdateResult
+
+// NewEngine returns a concurrent query engine serving dim-dimensional
+// points, starting from an empty epoch-0 snapshot.
+func NewEngine(dim int, opts EngineOptions) *Engine { return engine.New(dim, opts) }
 
 // --- convex hull (§3) -----------------------------------------------------
 
