@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Machine-readable benchmark output: every experiment that reports a
+// measurement also records it here, and -json <path> writes the collected
+// records so perf trajectories can be committed (BENCH_*.json) and diffed
+// across revisions.
+
+// BenchRecord is one measurement.
+type BenchRecord struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	N          int     `json:"n,omitempty"`       // data-set size
+	Dim        int     `json:"dim,omitempty"`     // dimensionality
+	Threads    int     `json:"threads,omitempty"` // GOMAXPROCS during the run
+	Seconds    float64 `json:"seconds"`           // wall time of the run
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	OpsPerSec  float64 `json:"ops_per_sec,omitempty"` // throughput (ops = queries, points, ...)
+}
+
+// BenchDoc is the top-level JSON document.
+type BenchDoc struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	BaseN      int           `json:"base_n"`
+	Seed       uint64        `json:"seed"`
+	Results    []BenchRecord `json:"results"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults []BenchRecord
+)
+
+// record appends one measurement to the JSON output (and is a no-op cost
+// when -json is unset beyond the slice append).
+func record(r BenchRecord) {
+	if r.Threads == 0 {
+		r.Threads = runtime.GOMAXPROCS(0)
+	}
+	benchMu.Lock()
+	benchResults = append(benchResults, r)
+	benchMu.Unlock()
+}
+
+// writeJSON dumps the collected records to path.
+func writeJSON(path string, baseN int, seed uint64) error {
+	benchMu.Lock()
+	doc := BenchDoc{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BaseN:      baseN,
+		Seed:       seed,
+		Results:    benchResults,
+	}
+	benchMu.Unlock()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(doc.Results), path)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+)
+
+// kdBench measures the kd-tree hot paths the arena layout targets: Build
+// (both split rules), single-query k-NN latency, the batched AllKNN pass,
+// and range search. Each measurement is the best of three runs (builds) or
+// an average over a fixed query count, and every row is recorded for -json
+// output — this experiment generates the committed BENCH_kdtree.json.
+func kdBench(n int, seed uint64) {
+	fmt.Println("=== kd-tree microbenchmarks (flat arena + leaf coordinate cache) ===")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "operation\tns/op\tops/s\n")
+	row := func(name string, dim int, secs float64, ops int) {
+		nsPerOp := secs * 1e9 / float64(ops)
+		opsPerSec := float64(ops) / secs
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\n", name, nsPerOp, opsPerSec)
+		record(BenchRecord{
+			Experiment: "kdtree",
+			Name:       name,
+			N:          n,
+			Dim:        dim,
+			Seconds:    secs,
+			NsPerOp:    nsPerOp,
+			OpsPerSec:  opsPerSec,
+		})
+	}
+	bestOf := func(runs int, f func()) float64 {
+		best := timeIt(f)
+		for i := 1; i < runs; i++ {
+			if s := timeIt(f); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+
+	for _, dim := range []int{2, 5} {
+		pts := generators.UniformCube(n, dim, seed+uint64(dim))
+		for _, split := range []kdtree.SplitRule{kdtree.ObjectMedian, kdtree.SpatialMedian} {
+			split := split
+			secs := bestOf(3, func() { kdtree.Build(pts, kdtree.Options{Split: split}) })
+			row(fmt.Sprintf("Build/d=%d/%s", dim, split), dim, secs, 1)
+		}
+
+		t := kdtree.Build(pts, kdtree.Options{})
+
+		// Single-query latency: sequential scan over a fixed query sample.
+		nq := 2000
+		if nq > n {
+			nq = n
+		}
+		buf := kdtree.NewKNNBuffer(5)
+		secs := bestOf(3, func() {
+			for q := 0; q < nq; q++ {
+				buf.Reset()
+				t.KNNInto(pts.At(q), int32(q), buf)
+			}
+		})
+		row(fmt.Sprintf("KNNQuery/d=%d/k=5", dim), dim, secs, nq)
+
+		// Batched all-points pass (data-parallel).
+		secs = bestOf(2, func() { t.AllKNN(5, nil) })
+		row(fmt.Sprintf("AllKNN/d=%d/k=5", dim), dim, secs, n)
+
+		// Range search around sampled centers.
+		boxes := make([]geom.Box, 256)
+		for i := range boxes {
+			c := pts.At(i * (n / len(boxes)))
+			b := geom.EmptyBox(dim)
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				lo[d], hi[d] = c[d]-6, c[d]+6
+			}
+			b.Expand(lo)
+			b.Expand(hi)
+			boxes[i] = b
+		}
+		secs = bestOf(3, func() { t.RangeSearchParallel(boxes) })
+		row(fmt.Sprintf("RangeSearch/d=%d", dim), dim, secs, len(boxes))
+	}
+	w.Flush()
+}

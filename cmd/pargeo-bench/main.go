@@ -12,12 +12,19 @@
 //	pargeo-bench -experiment sebstats        # §6.2 sampling-phase statistics
 //	pargeo-bench -experiment zdcompare       # §6.3 BDL-tree vs Zd-tree
 //	pargeo-bench -experiment engine          # mixed read/write serving throughput
+//	pargeo-bench -experiment kdtree          # kd-tree Build/k-NN/range microbenchmarks
 //	pargeo-bench -experiment all
 //
 // The paper's experiments use 10M–100M points on a 36-core machine; -n
 // scales the base data-set size (default 200000) so the suite runs
 // anywhere. Shapes (which algorithm wins, crossover behavior) reproduce;
 // absolute times depend on the host.
+//
+// -json <path> additionally writes the collected measurements as a
+// machine-readable document, which is how the repo's committed
+// BENCH_*.json perf-trajectory files are produced:
+//
+//	pargeo-bench -experiment kdtree -n 100000 -json BENCH_kdtree.json
 package main
 
 import (
@@ -31,19 +38,22 @@ import (
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|all")
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|kdtree|all")
 	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
 	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
 	flagVerify     = flag.Bool("verify", false, "cross-check results between implementations where cheap")
+	flagJSON       = flag.String("json", "", "write machine-readable results to this path")
 )
 
 func main() {
 	flag.Parse()
 	threads := parseThreads(*flagThreads)
 	fmt.Printf("pargeo-bench: n=%d, host CPUs=%d, threads=%v\n\n", *flagN, runtime.NumCPU(), threads)
+	matched := false
 	run := func(name string, f func()) {
 		if *flagExperiment == name || *flagExperiment == "all" {
+			matched = true
 			start := time.Now()
 			f()
 			fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
@@ -60,6 +70,19 @@ func main() {
 	run("sebstats", func() { sebStats(*flagN, *flagSeed) })
 	run("zdcompare", func() { zdCompare(*flagN, *flagSeed) })
 	run("engine", func() { engineBench(*flagN, *flagSeed) })
+	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
+	if !matched {
+		// A typo must not silently run nothing (and, with -json, clobber a
+		// committed BENCH_*.json with an empty document).
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (see -h for the list)\n", *flagExperiment)
+		os.Exit(2)
+	}
+	if *flagJSON != "" {
+		if err := writeJSON(*flagJSON, *flagN, *flagSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *flagJSON, err)
+			os.Exit(1)
+		}
+	}
 }
 
 func parseThreads(s string) []int {

@@ -1,9 +1,41 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
+
+func TestJSONRecorderRoundTrip(t *testing.T) {
+	benchMu.Lock()
+	benchResults = nil
+	benchMu.Unlock()
+	record(BenchRecord{Experiment: "kdtree", Name: "Build/d=2/object", N: 1000, Dim: 2, Seconds: 0.5, NsPerOp: 5e8})
+	record(BenchRecord{Experiment: "table1", Name: "EMST (2d)", N: 1000, Threads: 1, Seconds: 1.25})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSON(path, 1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unparseable output: %v", err)
+	}
+	if len(doc.Results) != 2 || doc.BaseN != 1000 || doc.Seed != 42 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Results[0].Name != "Build/d=2/object" || doc.Results[0].NsPerOp != 5e8 {
+		t.Fatalf("record 0 = %+v", doc.Results[0])
+	}
+	if doc.Results[1].Threads != 1 {
+		t.Fatalf("record 1 threads = %d", doc.Results[1].Threads)
+	}
+}
 
 func TestParseThreadsExplicit(t *testing.T) {
 	got := parseThreads("1, 2,8")

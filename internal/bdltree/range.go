@@ -27,14 +27,13 @@ func (t *vebTree) rangeRec(h, depth int, box geom.Box, out *[]int32, table []int
 		return
 	}
 	if inside || depth == t.levels {
+		base := int(nd.lo) * dim
 		for i := nd.lo; i < nd.hi; i++ {
 			li := t.idx[i]
-			if t.dead[li] {
-				continue
-			}
-			if inside || box.Contains(t.pts.At(int(li))) {
+			if !t.dead[li] && (inside || box.Contains(t.leafCoords[base:base+dim])) {
 				*out = append(*out, t.orig[li])
 			}
+			base += dim
 		}
 		return
 	}

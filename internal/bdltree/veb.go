@@ -110,6 +110,11 @@ type vebTree struct {
 	live   int
 	split  SplitRule
 	leaf   int
+	// leafCoords caches coordinates in idx (leaf) order, mirroring
+	// kdtree.Tree.LeafCoords: the k-NN / range inner loops scan one
+	// contiguous stretch per leaf instead of indirecting idx → pts. Built
+	// once after construction; immutable, so persistent clones share it.
+	leafCoords []float64
 }
 
 // vebLeafSize is the per-leaf point capacity ("a small constant number of
@@ -146,6 +151,11 @@ func newVEBTree(pts geom.Points, orig []int32, split SplitRule) *vebTree {
 	}
 	table := vebTable(levels)
 	t.build(1, 1, 0, int32(n), table)
+	dim := pts.Dim
+	t.leafCoords = make([]float64, n*dim)
+	parlay.For(n, 0, func(i int) {
+		copy(t.leafCoords[i*dim:(i+1)*dim], pts.At(int(t.idx[i])))
+	})
 	return t
 }
 
@@ -229,16 +239,16 @@ func (t *vebTree) knnRec(h, depth int, q []float64, exclude int32, buf *kdtree.K
 		return
 	}
 	if depth == t.levels {
+		dim := t.pts.Dim
+		base := int(nd.lo) * dim
 		for i := nd.lo; i < nd.hi; i++ {
 			li := t.idx[i]
-			if t.dead[li] {
-				continue
+			if !t.dead[li] {
+				if g := t.orig[li]; g != exclude {
+					buf.Insert(g, geom.SqDist(q, t.leafCoords[base:base+dim]))
+				}
 			}
-			g := t.orig[li]
-			if g == exclude {
-				continue
-			}
-			buf.Insert(g, geom.SqDist(q, t.pts.At(int(li))))
+			base += dim
 		}
 		return
 	}

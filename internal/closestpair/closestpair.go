@@ -39,8 +39,8 @@ func BruteForce(pts geom.Points) Result {
 	return best
 }
 
-// ClosestPair returns the closest pair of distinct points, via a parallel
-// all-1-NN pass over a kd-tree.
+// ClosestPair returns the closest pair of distinct points, via a batched
+// all-1-NN pass over a kd-tree followed by a parallel min-reduction.
 func ClosestPair(pts geom.Points) Result {
 	n := pts.Len()
 	if n < 2 {
@@ -50,19 +50,18 @@ func ClosestPair(pts geom.Points) Result {
 		return BruteForce(pts)
 	}
 	t := kdtree.Build(pts, kdtree.Options{Split: kdtree.ObjectMedian})
+	dists := make([]float64, n)
+	nn := t.AllKNN(1, dists)
 	type cand struct {
 		a, b int32
 		d    float64
 	}
-	best := parlay.Reduce(n, 256, cand{-1, -1, math.Inf(1)},
+	best := parlay.Reduce(n, 2048, cand{-1, -1, math.Inf(1)},
 		func(i int) cand {
-			buf := NewBuf1()
-			t.KNNInto(pts.At(i), int32(i), buf.b)
-			ids := buf.b.Result(buf.scratch[:0])
-			if len(ids) == 0 {
+			if nn[i] < 0 {
 				return cand{-1, -1, math.Inf(1)}
 			}
-			return cand{int32(i), ids[0], pts.SqDist(i, int(ids[0]))}
+			return cand{int32(i), nn[i], dists[i]}
 		},
 		func(a, b cand) cand {
 			if b.d < a.d || (b.d == a.d && b.a >= 0 && (a.a < 0 || b.a < a.a)) {
@@ -77,23 +76,14 @@ func ClosestPair(pts geom.Points) Result {
 	return Result{a, b, best.d}
 }
 
-// Buf1 wraps a 1-NN buffer for reuse.
-type Buf1 struct {
-	b       *kdtree.KNNBuffer
-	scratch [1]int32
-}
-
-// NewBuf1 allocates a 1-NN query buffer.
-func NewBuf1() *Buf1 { return &Buf1{b: kdtree.NewKNNBuffer(1)} }
-
 // BCCP returns the bichromatic closest pair between the points of two
 // kd-trees (A-index, B-index, squared distance) via dual-tree traversal.
 func BCCP(ta, tb *kdtree.Tree) Result {
 	best := Result{-1, -1, math.Inf(1)}
-	if ta.Root == nil || tb.Root == nil {
+	if ta.Root() == nil || tb.Root() == nil {
 		return best
 	}
-	bccpNodes(ta, tb, ta.Root, tb.Root, &best)
+	bccpNodes(ta, tb, ta.Root(), tb.Root(), &best)
 	return best
 }
 
@@ -124,24 +114,26 @@ func bccpNodes(ta, tb *kdtree.Tree, a, b *kdtree.Node, best *Result) {
 	// Descend into the larger-diameter node; order children by distance so
 	// the nearer pair is explored first (better pruning).
 	if b.IsLeaf() || (!a.IsLeaf() && kdtree.NodeSqDiameter(a, ta.Pts.Dim) > kdtree.NodeSqDiameter(b, tb.Pts.Dim)) {
-		dl := kdtree.NodeSqDist(a.Left, b, ta.Pts.Dim)
-		dr := kdtree.NodeSqDist(a.Right, b, ta.Pts.Dim)
+		al, ar := ta.Left(a), ta.Right(a)
+		dl := kdtree.NodeSqDist(al, b, ta.Pts.Dim)
+		dr := kdtree.NodeSqDist(ar, b, ta.Pts.Dim)
 		if dl <= dr {
-			bccpNodes(ta, tb, a.Left, b, best)
-			bccpNodes(ta, tb, a.Right, b, best)
+			bccpNodes(ta, tb, al, b, best)
+			bccpNodes(ta, tb, ar, b, best)
 		} else {
-			bccpNodes(ta, tb, a.Right, b, best)
-			bccpNodes(ta, tb, a.Left, b, best)
+			bccpNodes(ta, tb, ar, b, best)
+			bccpNodes(ta, tb, al, b, best)
 		}
 	} else {
-		dl := kdtree.NodeSqDist(a, b.Left, ta.Pts.Dim)
-		dr := kdtree.NodeSqDist(a, b.Right, ta.Pts.Dim)
+		bl, br := tb.Left(b), tb.Right(b)
+		dl := kdtree.NodeSqDist(a, bl, ta.Pts.Dim)
+		dr := kdtree.NodeSqDist(a, br, ta.Pts.Dim)
 		if dl <= dr {
-			bccpNodes(ta, tb, a, b.Left, best)
-			bccpNodes(ta, tb, a, b.Right, best)
+			bccpNodes(ta, tb, a, bl, best)
+			bccpNodes(ta, tb, a, br, best)
 		} else {
-			bccpNodes(ta, tb, a, b.Right, best)
-			bccpNodes(ta, tb, a, b.Left, best)
+			bccpNodes(ta, tb, a, br, best)
+			bccpNodes(ta, tb, a, bl, best)
 		}
 	}
 }

@@ -65,12 +65,12 @@ func TestBCCPNodesSeeded(t *testing.T) {
 	tb := kdtree.Build(blue, kdtree.Options{})
 	full := BCCP(ta, tb)
 	// Seeding with the answer cannot be improved.
-	same := BCCPNodes(ta, tb, ta.Root, tb.Root, full)
+	same := BCCPNodes(ta, tb, ta.Root(), tb.Root(), full)
 	if same.SqDist != full.SqDist {
 		t.Fatalf("seeded BCCP changed: %v vs %v", same, full)
 	}
 	// Seeding with 0 must return the seed (nothing is closer).
-	zero := BCCPNodes(ta, tb, ta.Root, tb.Root, Result{A: -1, B: -1, SqDist: 0})
+	zero := BCCPNodes(ta, tb, ta.Root(), tb.Root(), Result{A: -1, B: -1, SqDist: 0})
 	if zero.SqDist != 0 {
 		t.Fatalf("zero-seeded BCCP: %v", zero)
 	}

@@ -120,19 +120,17 @@ func (d Dendrogram) NumClusters(threshold float64) int {
 }
 
 // CoreDistances returns, for every point, its distance to its minPts-th
-// nearest neighbor (data-parallel k-NN over the kd-tree) — the core
-// distance of DBSCAN/HDBSCAN.
+// nearest neighbor — the core distance of DBSCAN/HDBSCAN — via the
+// kd-tree's batched AllKthSqDist pass (leaf-ordered queries, pooled
+// buffers, O(n) output; +Inf when a point has fewer than minPts
+// neighbors, matching the k-NN buffer's KthDist convention).
 func CoreDistances(pts geom.Points, minPts int) []float64 {
 	n := pts.Len()
 	t := kdtree.Build(pts, kdtree.Options{})
+	sq := t.AllKthSqDist(minPts)
 	out := make([]float64, n)
-	parlay.ForBlocked(n, 64, func(lo, hi int) {
-		buf := kdtree.NewKNNBuffer(minPts)
-		for i := lo; i < hi; i++ {
-			buf.Reset()
-			t.KNNInto(pts.At(i), int32(i), buf)
-			out[i] = math.Sqrt(buf.KthDist())
-		}
+	parlay.For(n, 0, func(i int) {
+		out[i] = math.Sqrt(sq[i])
 	})
 	return out
 }

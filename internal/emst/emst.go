@@ -90,20 +90,13 @@ func ComputeFromTree(t *kdtree.Tree) []Edge {
 }
 
 func collectLeafEdges(t *kdtree.Tree) []Edge {
+	// The flat preorder arena makes leaf collection a linear scan — no
+	// recursive pointer walk.
 	var leaves []*kdtree.Node
-	var walk func(nd *kdtree.Node)
-	walk = func(nd *kdtree.Node) {
-		if nd.IsLeaf() {
-			if nd.Size() > 1 {
-				leaves = append(leaves, nd)
-			}
-			return
+	for i := range t.Nodes {
+		if nd := &t.Nodes[i]; nd.IsLeaf() && nd.Size() > 1 {
+			leaves = append(leaves, nd)
 		}
-		walk(nd.Left)
-		walk(nd.Right)
-	}
-	if t.Root != nil {
-		walk(t.Root)
 	}
 	counts := make([]int, len(leaves))
 	for i, l := range leaves {

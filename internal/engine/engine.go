@@ -6,6 +6,7 @@ import (
 
 	"pargeo/internal/bdltree"
 	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
 	"pargeo/internal/parlay"
 )
 
@@ -110,6 +111,20 @@ type Engine struct {
 	qmu      sync.Mutex
 	qpending []*queryReq
 	qactive  bool
+
+	// knnPools holds one KNNBuffer pool per requested k, so grouped k-NN
+	// passes reuse buffers across queries and across groups instead of
+	// allocating per query-group member.
+	knnPools sync.Map // int (k) -> *kdtree.BufferPool
+}
+
+// knnPool returns the engine's shared buffer pool for k-neighbor queries.
+func (e *Engine) knnPool(k int) *kdtree.BufferPool {
+	if v, ok := e.knnPools.Load(k); ok {
+		return v.(*kdtree.BufferPool)
+	}
+	v, _ := e.knnPools.LoadOrStore(k, kdtree.NewBufferPool(k))
+	return v.(*kdtree.BufferPool)
 }
 
 // New returns an engine serving dim-dimensional points, publishing an empty
@@ -312,7 +327,7 @@ func (e *Engine) runGroup(group []*queryReq) {
 		r := group[0]
 		switch r.kind {
 		case qKNN:
-			r.ids = snap.tree.KNN(geom.Points{Data: r.q, Dim: e.dim}, r.k, nil)[0]
+			r.ids = snap.tree.KNNPooled(geom.Points{Data: r.q, Dim: e.dim}, r.k, nil, e.knnPool(r.k))[0]
 		case qRange:
 			r.ids = snap.tree.RangeSearch(r.box)
 		case qCount:
@@ -342,7 +357,7 @@ func (e *Engine) runGroup(group []*queryReq) {
 			batch.Set(i, r.q)
 		}
 		thunks = append(thunks, func() {
-			res := snap.tree.KNN(batch, k, nil)
+			res := snap.tree.KNNPooled(batch, k, nil, e.knnPool(k))
 			for i, r := range reqs {
 				r.ids = res[i]
 			}

@@ -28,13 +28,22 @@ func mkEdge(u, v int32) Edge {
 }
 
 // KNNGraph returns the directed k-nearest-neighbor graph: row i lists the k
-// nearest neighbors of point i (data-parallel k-NN over a kd-tree).
+// nearest neighbors of point i. The rows are views into one flat AllKNN
+// result buffer — the whole graph costs O(1) allocations beyond it.
 func KNNGraph(pts geom.Points, k int) [][]int32 {
 	t := kdtree.Build(pts, kdtree.Options{Split: kdtree.ObjectMedian})
 	n := pts.Len()
-	queries := make([]int32, n)
-	parlay.For(n, 0, func(i int) { queries[i] = int32(i) })
-	return t.KNN(queries, k)
+	flat := t.AllKNN(k, nil)
+	adj := make([][]int32, n)
+	parlay.For(n, 0, func(i int) {
+		row := flat[i*k : (i+1)*k]
+		m := k
+		for m > 0 && row[m-1] < 0 {
+			m--
+		}
+		adj[i] = row[:m:m]
+	})
+	return adj
 }
 
 // KNNGraphEdges returns the undirected edge set of the k-NN graph.

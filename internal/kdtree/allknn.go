@@ -1,0 +1,95 @@
+package kdtree
+
+import "pargeo/internal/parlay"
+
+// AllKNN computes, for every point stored in the tree, its k nearest
+// neighbors among the tree's points (excluding the point itself), in one
+// data-parallel batch pass. Results are flat and row-major by point index:
+// the neighbors of point p occupy ids[p*k : (p+1)*k], sorted by increasing
+// distance and padded with -1 when fewer than k neighbors exist (and, for
+// trees built over an index subset, for points absent from the tree). If
+// sqDists is non-nil it must have length Pts.Len()*k and receives the
+// matching squared distances (+Inf padding).
+//
+// Queries are issued in leaf (Idx) order, so consecutive queries are
+// spatially adjacent and traverse overlapping node paths, and each query's
+// coordinates come straight from the contiguous LeafCoords cache. Workers
+// draw KNNBuffers from a pool, reusing one buffer across an entire block of
+// queries — the batch allocates nothing per query beyond the result rows.
+//
+// This is the batch entry point the closest-pair reduction, the clustering
+// pipeline's core distances, and the k-NN graph generator share.
+func (t *Tree) AllKNN(k int, sqDists []float64) []int32 {
+	if k <= 0 {
+		panic("kdtree: AllKNN requires k >= 1")
+	}
+	n := t.Pts.Len()
+	if sqDists != nil && len(sqDists) != n*k {
+		panic("kdtree: AllKNN sqDists length must be Pts.Len()*k")
+	}
+	ids := make([]int32, n*k)
+	if len(t.Idx) != n {
+		// Subset tree: rows of points outside the tree stay padded.
+		parlay.For(n*k, 0, func(i int) {
+			ids[i] = -1
+			if sqDists != nil {
+				sqDists[i] = inf
+			}
+		})
+	}
+	if len(t.Idx) == 0 {
+		return ids
+	}
+	pool := NewBufferPool(k)
+	parlay.ForBlocked(len(t.Idx), 64, func(lo, hi int) {
+		buf := pool.Get()
+		for i := lo; i < hi; i++ {
+			pid := t.Idx[i]
+			buf.Reset()
+			t.knnRec(0, t.LeafCoord(i), pid, buf)
+			row := ids[int(pid)*k : (int(pid)+1)*k]
+			var drow []float64
+			if sqDists != nil {
+				drow = sqDists[int(pid)*k : (int(pid)+1)*k]
+			}
+			m := buf.ResultInto(row, drow)
+			for j := m; j < k; j++ {
+				row[j] = -1
+				if drow != nil {
+					drow[j] = inf
+				}
+			}
+		}
+		pool.Put(buf)
+	})
+	return ids
+}
+
+// AllKthSqDist computes, for every point stored in the tree, the squared
+// distance to its k-th nearest neighbor (excluding itself) — the batch form
+// of KNNBuffer.KthDist, and the quantity DBSCAN/HDBSCAN core distances are
+// built from. Entry p is +Inf when point p has fewer than k neighbors or is
+// absent from a subset tree. Unlike AllKNN it materializes no neighbor
+// matrix: output is O(n) however large k is.
+func (t *Tree) AllKthSqDist(k int) []float64 {
+	if k <= 0 {
+		panic("kdtree: AllKthSqDist requires k >= 1")
+	}
+	n := t.Pts.Len()
+	out := make([]float64, n)
+	if len(t.Idx) != n {
+		parlay.For(n, 0, func(i int) { out[i] = inf })
+	}
+	pool := NewBufferPool(k)
+	parlay.ForBlocked(len(t.Idx), 64, func(lo, hi int) {
+		buf := pool.Get()
+		for i := lo; i < hi; i++ {
+			pid := t.Idx[i]
+			buf.Reset()
+			t.knnRec(0, t.LeafCoord(i), pid, buf)
+			out[pid] = buf.KthDist()
+		}
+		pool.Put(buf)
+	})
+	return out
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package kdtree
+
+// raceEnabled reports whether the race detector is active. The allocation
+// regression test always exercises the build paths (so the -race CI job
+// covers them), but only asserts exact allocation counts without the
+// detector, whose instrumentation allocates on its own.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package kdtree
+
+// raceEnabled: see alloc_norace_test.go.
+const raceEnabled = true

@@ -1,7 +1,8 @@
 // Package kdtree implements ParGeo's static parallel kd-tree (Module 1):
 // parallel construction with object-median or spatial-median splits,
-// exact k-nearest-neighbor search with the paper's 2k quickselect buffer,
-// and orthogonal range search. The tree also exposes its node structure
+// exact k-nearest-neighbor search with the paper's 2k quickselect buffer
+// (single-query KNNInto and the batched, data-parallel AllKNN), and
+// orthogonal range search. The tree also exposes its node structure
 // (bounding boxes, children, subtree point ranges), which the WSPD, EMST,
 // and bichromatic-closest-pair modules traverse directly.
 //
@@ -11,14 +12,24 @@
 // box extent); recursion on the two sides forks through parlay's
 // work-stealing scheduler (nested fork-join, no depth limit) until subtrees
 // fall below the sequential grain, so skewed splits rebalance dynamically.
-// Points are never copied: the tree permutes a single index array, and each
-// node owns a contiguous range of it.
+// Points are never copied out of the caller's buffer: the tree permutes a
+// single index array, and each node owns a contiguous range of it.
 //
-// On layout: the paper stores BDL-tree nodes in the cache-oblivious van
-// Emde Boas order (Appendix C.1.1). The general tree here uses DFS
-// (preorder) layout, which is also contiguous and cache-friendly for the
-// traversals ParGeo performs; the BDL static trees additionally provide the
-// vEB index permutation (see bdltree/veb.go) to reproduce Algorithm 1.
+// On layout: nodes live in one flat arena (Tree.Nodes), allocated in bulk
+// and laid out in DFS preorder — every subtree occupies a contiguous node
+// range, a node's left child is the next arena slot, and children are
+// addressed by int32 index instead of pointer. Object-median trees have
+// data-independent shapes, so the arena is carved into exact disjoint
+// per-subtree ranges during the parallel build (lock-free, O(1)
+// allocations); spatial-median builds carve worst-case slabs (bounded by a
+// minimum leaf fill) and compact to gap-free preorder afterwards. This is
+// the general tree's analogue of the paper's cache-oblivious van Emde Boas
+// order for the BDL static trees (Appendix C.1.1, see bdltree/veb.go):
+// contiguous, pointer-free, and cache-friendly for the traversals ParGeo
+// performs. In addition, the tree caches each leaf's coordinates in one
+// leaf-ordered contiguous buffer (Tree.LeafCoords), so the inner distance
+// loops of k-NN and range search scan sequential memory instead of
+// indirecting through Idx into the strided point buffer.
 package kdtree
 
 import (
@@ -62,29 +73,60 @@ type Options struct {
 	Serial   bool
 }
 
-// Node is a kd-tree node. Leaves have Left == nil and own the index range
-// [Lo, Hi) of Tree.Idx; internal nodes carry the split plane. Every node
-// (incl. internal) owns its subtree's contiguous range [Lo, Hi).
+// Node is a kd-tree node stored in the tree's flat preorder arena. Leaves
+// have Left == 0 and own the index range [Lo, Hi) of Tree.Idx; internal
+// nodes carry the split plane and address their children by arena index
+// (Left is always the node's own index + 1 — preorder). Every node (incl.
+// internal) owns its subtree's contiguous range [Lo, Hi).
 type Node struct {
 	MinC, MaxC  [MaxDim]float64 // bounding box (first Dim entries valid)
-	Left, Right *Node
-	Lo, Hi      int32
+	Lo, Hi      int32           // owned range of Tree.Idx
+	Left, Right int32           // children as Tree.Nodes indices; 0 = leaf
 	SplitVal    float64
 	SplitDim    int8
 }
 
-// IsLeaf reports whether the node is a leaf.
-func (nd *Node) IsLeaf() bool { return nd.Left == nil }
+// IsLeaf reports whether the node is a leaf. (Index 0 is the root, which is
+// never anyone's child, so 0 doubles as the nil child.)
+func (nd *Node) IsLeaf() bool { return nd.Left == 0 }
 
 // Size returns the number of points in the node's subtree.
 func (nd *Node) Size() int { return int(nd.Hi - nd.Lo) }
 
 // Tree is a static kd-tree over an externally owned point buffer.
 type Tree struct {
-	Pts  geom.Points
-	Idx  []int32 // permutation of the point indices; leaves own ranges
-	Root *Node
-	opts Options
+	Pts geom.Points
+	Idx []int32 // permutation of the point indices; leaves own ranges
+	// Nodes is the preorder node arena: Nodes[0] is the root, every subtree
+	// occupies a contiguous range, and a node's left child immediately
+	// follows it. Allocated in bulk — builds do O(1) allocations.
+	Nodes []Node
+	// LeafCoords caches point coordinates in leaf (Idx) order:
+	// LeafCoords[i*Dim:(i+1)*Dim] are the coordinates of point Idx[i], so a
+	// leaf's points occupy one contiguous stretch scanned sequentially by
+	// the k-NN and range-search inner loops.
+	LeafCoords []float64
+	opts       Options
+}
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node {
+	if len(t.Nodes) == 0 {
+		return nil
+	}
+	return &t.Nodes[0]
+}
+
+// Left returns nd's left child (nd must be internal).
+func (t *Tree) Left(nd *Node) *Node { return &t.Nodes[nd.Left] }
+
+// Right returns nd's right child (nd must be internal).
+func (t *Tree) Right(nd *Node) *Node { return &t.Nodes[nd.Right] }
+
+// LeafCoord returns the cached coordinates of the point at Idx position i.
+func (t *Tree) LeafCoord(i int) []float64 {
+	base := i * t.Pts.Dim
+	return t.LeafCoords[base : base+t.Pts.Dim]
 }
 
 // Build constructs a kd-tree over all points in pts.
@@ -105,8 +147,29 @@ func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
 		opts.LeafSize = 16
 	}
 	t := &Tree{Pts: pts, Idx: idx, opts: opts}
-	if len(idx) > 0 {
-		t.Root = t.build(0, int32(len(idx)), !opts.Serial)
+	n := len(idx)
+	if n == 0 {
+		return t
+	}
+	// The leaf-ordered coordinate cache is filled as each leaf is built,
+	// while its points are still warm from the bounding-box pass.
+	t.LeafCoords = make([]float64, n*pts.Dim)
+	par := !opts.Serial
+	switch opts.Split {
+	case SpatialMedian:
+		// Spatial splits are data-dependent, so subtree node counts are not
+		// known up front: carve worst-case slabs (bounded by the minimum
+		// leaf fill the builder guarantees), then compact to gap-free
+		// preorder.
+		arena := make([]Node, spatialNodeBound(int32(n), int32(opts.LeafSize)))
+		used := t.buildSpatial(arena, 0, 0, int32(n), par)
+		t.Nodes = compactPreorder(arena, used)
+	default: // ObjectMedian
+		// Object-median shapes depend only on subtree sizes, so the exact
+		// node count — and every subtree's exact arena range — is known
+		// before building: one bulk make, disjoint lock-free carving.
+		t.Nodes = make([]Node, objectNodeCount(int32(n), int32(opts.LeafSize)))
+		t.buildObject(0, 0, int32(n), par)
 	}
 	return t
 }
@@ -116,43 +179,169 @@ func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
 // the scheduler balances the recursion tree, however skewed the splits.
 const parallelBuildThreshold = 4096
 
-func (t *Tree) build(lo, hi int32, par bool) *Node {
-	nd := &Node{Lo: lo, Hi: hi}
+// objectNodeCount returns the exact node count of an object-median subtree
+// over m points: splitting m > leafSize yields children of ⌊m/2⌋ and ⌈m/2⌉
+// points, so the shape is a function of m alone. All subtree sizes at one
+// depth differ by at most one, which lets the whole profile walk down in
+// O(log m) steps tracking two (size, count) pairs — no allocation.
+func objectNodeCount(m, leafSize int32) int32 {
+	if m <= leafSize {
+		return 1
+	}
+	L := int64(leafSize)
+	var leaves, internal int64
+	s := int64(m) // smaller of the (at most two) sizes at this level
+	cs := int64(1)
+	cs1 := int64(0) // count of size-(s+1) nodes
+	for {
+		if s+1 <= L {
+			leaves += cs + cs1
+			break
+		}
+		if s <= L {
+			leaves += cs
+			cs = 0
+		}
+		internal += cs + cs1
+		// Children of a size-s node are ⌊s/2⌋ and ⌈s/2⌉ (and of s+1,
+		// ⌊(s+1)/2⌋ and ⌈(s+1)/2⌉), so the next level again holds only the
+		// two sizes ⌊s/2⌋ and ⌊s/2⌋+1.
+		if s%2 == 0 {
+			cs = 2*cs + cs1
+		} else {
+			cs1 = cs + 2*cs1
+		}
+		s /= 2
+	}
+	return int32(leaves + internal)
+}
+
+// minLeafFill is the smallest point count the builder allows a non-root
+// leaf: object-median children of a splittable node have ≥ ⌈leafSize/2⌉
+// points, and the spatial-median builder falls back to the object median
+// whenever the midpoint cut would leave a side smaller than that. The fill
+// floor is what bounds the arena: ≤ ⌊m/fill⌋ leaves, ≤ 2⌊m/fill⌋−1 nodes.
+func minLeafFill(leafSize int32) int32 { return (leafSize + 1) / 2 }
+
+// spatialNodeBound returns an upper bound on the node count of a
+// spatial-median subtree over m points, given the minimum leaf fill.
+func spatialNodeBound(m, leafSize int32) int32 {
+	l := m / minLeafFill(leafSize)
+	if l < 1 {
+		l = 1
+	}
+	return 2*l - 1
+}
+
+// buildObject fills the subtree rooted at arena slot node over Idx[lo:hi).
+// Exact object-median counting makes the carving tight: the subtree
+// occupies exactly [node, node+objectNodeCount(hi-lo)).
+func (t *Tree) buildObject(node, lo, hi int32, par bool) {
+	nd := &t.Nodes[node]
+	nd.Lo, nd.Hi = lo, hi
 	t.computeBox(nd, par)
-	n := int(hi - lo)
-	if n <= t.opts.LeafSize {
-		return nd
+	n := hi - lo
+	if int(n) <= t.opts.LeafSize {
+		t.fillLeafCoords(lo, hi) // leaf: Left stays 0
+		return
 	}
 	dim := widestDim(nd, t.Pts.Dim)
-	var mid int32
-	switch t.opts.Split {
-	case SpatialMedian:
-		splitVal := (nd.MinC[dim] + nd.MaxC[dim]) / 2
-		mid = t.partition(lo, hi, dim, splitVal)
-		if mid == lo || mid == hi {
-			// Degenerate spatial split (all points on one side): fall back
-			// to the object median so progress is guaranteed.
-			mid = lo + int32(n/2)
-			t.nthElement(lo, hi, mid, dim)
-		}
-		nd.SplitVal = splitVal
-	default: // ObjectMedian
-		mid = lo + int32(n/2)
-		t.nthElement(lo, hi, mid, dim)
-		nd.SplitVal = t.Pts.Coord(int(t.Idx[mid]), dim)
-	}
+	mid := lo + n/2
+	t.nthElement(lo, hi, mid, dim)
+	nd.SplitVal = t.Pts.Coord(int(t.Idx[mid]), dim)
 	nd.SplitDim = int8(dim)
-	childPar := par && n > parallelBuildThreshold
-	if childPar {
+	nd.Left = node + 1
+	nd.Right = node + 1 + objectNodeCount(mid-lo, int32(t.opts.LeafSize))
+	if par && int(n) > parallelBuildThreshold {
 		parlay.Do(
-			func() { nd.Left = t.build(lo, mid, true) },
-			func() { nd.Right = t.build(mid, hi, true) },
+			func() { t.buildObject(nd.Left, lo, mid, true) },
+			func() { t.buildObject(nd.Right, mid, hi, true) },
 		)
 	} else {
-		nd.Left = t.build(lo, mid, false)
-		nd.Right = t.build(mid, hi, false)
+		t.buildObject(nd.Left, lo, mid, false)
+		t.buildObject(nd.Right, mid, hi, false)
 	}
-	return nd
+}
+
+// buildSpatial fills the subtree rooted at arena slot node over Idx[lo:hi),
+// carving child slabs by the worst-case bound, and returns the number of
+// nodes the subtree actually used (its gap-free size after compaction).
+func (t *Tree) buildSpatial(arena []Node, node, lo, hi int32, par bool) int32 {
+	nd := &arena[node]
+	nd.Lo, nd.Hi = lo, hi
+	t.computeBox(nd, par)
+	n := hi - lo
+	if int(n) <= t.opts.LeafSize {
+		t.fillLeafCoords(lo, hi)
+		return 1
+	}
+	leafSize := int32(t.opts.LeafSize)
+	dim := widestDim(nd, t.Pts.Dim)
+	splitVal := (nd.MinC[dim] + nd.MaxC[dim]) / 2
+	mid := t.partition(lo, hi, dim, splitVal)
+	if fill := minLeafFill(leafSize); mid-lo < fill || hi-mid < fill {
+		// Degenerate or heavily skewed spatial cut: fall back to the object
+		// median. This guarantees progress (the classic mid==lo/hi case) and
+		// keeps every leaf at least half full, which is what bounds the
+		// arena and the tree depth.
+		mid = lo + n/2
+		t.nthElement(lo, hi, mid, dim)
+		splitVal = t.Pts.Coord(int(t.Idx[mid]), dim)
+	}
+	nd.SplitVal = splitVal
+	nd.SplitDim = int8(dim)
+	nd.Left = node + 1
+	nd.Right = node + 1 + spatialNodeBound(mid-lo, leafSize)
+	if par && int(n) > parallelBuildThreshold {
+		// The result cells live only in the (rare) fork branch: hoisting
+		// them out would heap-box them on every call, since the closures
+		// write to them.
+		var lUsed, rUsed int32
+		parlay.Do(
+			func() { lUsed = t.buildSpatial(arena, nd.Left, lo, mid, true) },
+			func() { rUsed = t.buildSpatial(arena, nd.Right, mid, hi, true) },
+		)
+		return 1 + lUsed + rUsed
+	}
+	return 1 + t.buildSpatial(arena, nd.Left, lo, mid, false) +
+		t.buildSpatial(arena, nd.Right, mid, hi, false)
+}
+
+// compactPreorder re-emits the (possibly gappy) slab-carved arena as a
+// gap-free preorder array of exactly total nodes. A node's new left child
+// index is its own index + 1; the right child lands right after the left
+// subtree, restoring the contiguous-subtree invariant with zero slack.
+func compactPreorder(arena []Node, total int32) []Node {
+	out := make([]Node, total)
+	next := int32(0)
+	var rec func(old int32)
+	rec = func(old int32) {
+		nd := arena[old]
+		self := next
+		next++
+		if nd.Left != 0 {
+			l, r := nd.Left, nd.Right
+			nd.Left = next
+			rec(l)
+			nd.Right = next
+			rec(r)
+		}
+		out[self] = nd
+	}
+	rec(0)
+	return out
+}
+
+// fillLeafCoords copies the coordinates of Idx[lo:hi) — a freshly built
+// leaf's points, still cache-hot from its bounding-box pass — into the
+// leaf-ordered contiguous cache.
+func (t *Tree) fillLeafCoords(lo, hi int32) {
+	dim := t.Pts.Dim
+	base := int(lo) * dim
+	for i := lo; i < hi; i++ {
+		copy(t.LeafCoords[base:base+dim], t.Pts.At(int(t.Idx[i])))
+		base += dim
+	}
 }
 
 // computeBox fills the node's bounding box over its index range.
@@ -302,21 +491,24 @@ func (t *Tree) KNN(queries []int32, k int) [][]int32 {
 // KNNInto runs a single k-NN query for coordinates q into buf (which the
 // caller Reset()s between unrelated queries but deliberately reuses across
 // the multiple trees of a BDL-tree). exclude is a point index to skip (-1
-// for none).
+// for none). With a reused buffer the query allocates nothing.
 func (t *Tree) KNNInto(q []float64, exclude int32, buf *KNNBuffer) {
-	if t.Root != nil {
-		t.knnRec(t.Root, q, exclude, buf)
+	if len(t.Nodes) > 0 {
+		t.knnRec(0, q, exclude, buf)
 	}
 }
 
-func (t *Tree) knnRec(nd *Node, q []float64, exclude int32, buf *KNNBuffer) {
-	if nd.IsLeaf() {
+func (t *Tree) knnRec(ni int32, q []float64, exclude int32, buf *KNNBuffer) {
+	nd := &t.Nodes[ni]
+	if nd.Left == 0 {
+		// Leaf: scan the contiguous coordinate cache sequentially.
+		dim := t.Pts.Dim
+		base := int(nd.Lo) * dim
 		for i := nd.Lo; i < nd.Hi; i++ {
-			id := t.Idx[i]
-			if id == exclude {
-				continue
+			if id := t.Idx[i]; id != exclude {
+				buf.Insert(id, geom.SqDist(q, t.LeafCoords[base:base+dim]))
 			}
-			buf.Insert(id, geom.SqDist(q, t.Pts.At(int(id))))
+			base += dim
 		}
 		return
 	}
@@ -329,7 +521,7 @@ func (t *Tree) knnRec(nd *Node, q []float64, exclude int32, buf *KNNBuffer) {
 	// Paper heuristic (C.1.3): if the buffer is not yet full, eagerly visit
 	// the sibling to establish a pruning bound as fast as possible;
 	// otherwise prune by box distance.
-	if !buf.Full() || boxSqDist(far, q, t.Pts.Dim) < buf.Bound() {
+	if !buf.Full() || boxSqDist(&t.Nodes[far], q, t.Pts.Dim) < buf.Bound() {
 		t.knnRec(far, q, exclude, buf)
 	}
 }
@@ -348,22 +540,13 @@ func boxSqDist(nd *Node, q []float64, dim int) float64 {
 	return s
 }
 
-func boxMaxSqDist(nd *Node, q []float64, dim int) float64 {
-	s := 0.0
-	for c := 0; c < dim; c++ {
-		d := math.Max(math.Abs(q[c]-nd.MinC[c]), math.Abs(q[c]-nd.MaxC[c]))
-		s += d * d
-	}
-	return s
-}
-
 // --- range search -------------------------------------------------------
 
 // RangeSearch returns the indices of all points inside the closed box.
 func (t *Tree) RangeSearch(box geom.Box) []int32 {
 	var out []int32
-	if t.Root != nil {
-		t.rangeRec(t.Root, box, &out)
+	if len(t.Nodes) > 0 {
+		t.rangeRec(0, box, &out)
 	}
 	return out
 }
@@ -371,8 +554,8 @@ func (t *Tree) RangeSearch(box geom.Box) []int32 {
 // RangeCount returns the number of points inside the closed box.
 func (t *Tree) RangeCount(box geom.Box) int {
 	cnt := 0
-	if t.Root != nil {
-		t.rangeCountRec(t.Root, box, &cnt)
+	if len(t.Nodes) > 0 {
+		t.rangeCountRec(0, box, &cnt)
 	}
 	return cnt
 }
@@ -390,7 +573,8 @@ func (t *Tree) nodeBoxIn(nd *Node, box geom.Box) (inside, disjoint bool) {
 	return inside, false
 }
 
-func (t *Tree) rangeRec(nd *Node, box geom.Box, out *[]int32) {
+func (t *Tree) rangeRec(ni int32, box geom.Box, out *[]int32) {
+	nd := &t.Nodes[ni]
 	inside, disjoint := t.nodeBoxIn(nd, box)
 	if disjoint {
 		return
@@ -399,11 +583,14 @@ func (t *Tree) rangeRec(nd *Node, box geom.Box, out *[]int32) {
 		*out = append(*out, t.Idx[nd.Lo:nd.Hi]...)
 		return
 	}
-	if nd.IsLeaf() {
+	if nd.Left == 0 {
+		dim := t.Pts.Dim
+		base := int(nd.Lo) * dim
 		for i := nd.Lo; i < nd.Hi; i++ {
-			if box.Contains(t.Pts.At(int(t.Idx[i]))) {
+			if box.Contains(t.LeafCoords[base : base+dim]) {
 				*out = append(*out, t.Idx[i])
 			}
+			base += dim
 		}
 		return
 	}
@@ -411,7 +598,8 @@ func (t *Tree) rangeRec(nd *Node, box geom.Box, out *[]int32) {
 	t.rangeRec(nd.Right, box, out)
 }
 
-func (t *Tree) rangeCountRec(nd *Node, box geom.Box, cnt *int) {
+func (t *Tree) rangeCountRec(ni int32, box geom.Box, cnt *int) {
+	nd := &t.Nodes[ni]
 	inside, disjoint := t.nodeBoxIn(nd, box)
 	if disjoint {
 		return
@@ -420,11 +608,14 @@ func (t *Tree) rangeCountRec(nd *Node, box geom.Box, cnt *int) {
 		*cnt += nd.Size()
 		return
 	}
-	if nd.IsLeaf() {
+	if nd.Left == 0 {
+		dim := t.Pts.Dim
+		base := int(nd.Lo) * dim
 		for i := nd.Lo; i < nd.Hi; i++ {
-			if box.Contains(t.Pts.At(int(t.Idx[i]))) {
+			if box.Contains(t.LeafCoords[base : base+dim]) {
 				*cnt++
 			}
+			base += dim
 		}
 		return
 	}
@@ -482,12 +673,13 @@ func NodeSqDiameter(nd *Node, dim int) float64 {
 
 // Height returns the height of the tree (1 for a single leaf).
 func (t *Tree) Height() int {
-	var rec func(nd *Node) int
-	rec = func(nd *Node) int {
-		if nd == nil {
-			return 0
-		}
-		if nd.IsLeaf() {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	var rec func(ni int32) int
+	rec = func(ni int32) int {
+		nd := &t.Nodes[ni]
+		if nd.Left == 0 {
 			return 1
 		}
 		l, r := rec(nd.Left), rec(nd.Right)
@@ -496,5 +688,5 @@ func (t *Tree) Height() int {
 		}
 		return r + 1
 	}
-	return rec(t.Root)
+	return rec(0)
 }

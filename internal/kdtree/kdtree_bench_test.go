@@ -66,6 +66,18 @@ func BenchmarkRangeSearch(b *testing.B) {
 	}
 }
 
+func BenchmarkAllKNN(b *testing.B) {
+	for _, dim := range []int{2, 5} {
+		pts := generators.UniformCube(100000, dim, uint64(dim))
+		t := Build(pts, Options{})
+		b.Run(fmt.Sprintf("d=%d/k=5", dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t.AllKNN(5, nil)
+			}
+		})
+	}
+}
+
 func BenchmarkKNNBufferInsert(b *testing.B) {
 	buf := NewKNNBuffer(8)
 	b.ResetTimer()

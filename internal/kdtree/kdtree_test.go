@@ -154,13 +154,14 @@ func TestTreeStructureInvariants(t *testing.T) {
 				}
 				return
 			}
-			if nd.Left.Lo != nd.Lo || nd.Right.Hi != nd.Hi || nd.Left.Hi != nd.Right.Lo {
+			l, r := tree.Left(nd), tree.Right(nd)
+			if l.Lo != nd.Lo || r.Hi != nd.Hi || l.Hi != r.Lo {
 				t.Fatalf("split=%v: child ranges inconsistent", split)
 			}
-			walk(nd.Left)
-			walk(nd.Right)
+			walk(l)
+			walk(r)
 		}
-		walk(tree.Root)
+		walk(tree.Root())
 		for i, s := range seen {
 			if !s {
 				t.Fatalf("split=%v: point %d missing", split, i)
@@ -271,7 +272,7 @@ func TestKNNBufferProperty(t *testing.T) {
 
 func TestEmptyAndTinyTrees(t *testing.T) {
 	empty := Build(geom.NewPoints(0, 2), Options{})
-	if empty.Root != nil {
+	if empty.Root() != nil {
 		t.Fatal("empty tree should have nil root")
 	}
 	if res := empty.RangeSearch(geom.EmptyBox(2)); len(res) != 0 {
@@ -301,7 +302,7 @@ func TestParallelBuildUnderScheduler(t *testing.T) {
 		for _, split := range []SplitRule{ObjectMedian, SpatialMedian} {
 			par := Build(tc.pts, Options{Split: split})
 			ser := Build(tc.pts, Options{Split: split, Serial: true})
-			if par.Root == nil || par.Root.Size() != tc.pts.Len() {
+			if par.Root() == nil || par.Root().Size() != tc.pts.Len() {
 				t.Fatalf("%s/%v: bad root", tc.name, split)
 			}
 			// Every point appears exactly once across the leaf ranges.
@@ -318,13 +319,14 @@ func TestParallelBuildUnderScheduler(t *testing.T) {
 					}
 					return
 				}
-				if nd.Left.Lo != nd.Lo || nd.Right.Hi != nd.Hi || nd.Left.Hi != nd.Right.Lo {
+				l, r := par.Left(nd), par.Right(nd)
+				if l.Lo != nd.Lo || r.Hi != nd.Hi || l.Hi != r.Lo {
 					t.Fatalf("%s/%v: child ranges inconsistent", tc.name, split)
 				}
-				walk(nd.Left)
-				walk(nd.Right)
+				walk(l)
+				walk(r)
 			}
-			walk(par.Root)
+			walk(par.Root())
 			for i, s := range seen {
 				if !s {
 					t.Fatalf("%s/%v: point %d missing", tc.name, split, i)

@@ -116,10 +116,9 @@ func (b *KNNBuffer) swap(i, j int) {
 	b.dists[i], b.dists[j] = b.dists[j], b.dists[i]
 }
 
-// Result appends the k nearest candidate ids (sorted by increasing
-// distance) to dst and returns it. Fewer than k are returned when fewer
-// candidates were inserted.
-func (b *KNNBuffer) Result(dst []int32) []int32 {
+// sortPrefix compacts to at most k candidates, sorts them by increasing
+// distance, and returns their count.
+func (b *KNNBuffer) sortPrefix() int {
 	m := b.n
 	if m > b.k {
 		b.compact()
@@ -131,7 +130,28 @@ func (b *KNNBuffer) Result(dst []int32) []int32 {
 			b.swap(j, j-1)
 		}
 	}
+	return m
+}
+
+// Result appends the k nearest candidate ids (sorted by increasing
+// distance) to dst and returns it. Fewer than k are returned when fewer
+// candidates were inserted.
+func (b *KNNBuffer) Result(dst []int32) []int32 {
+	m := b.sortPrefix()
 	return append(dst, b.ids[:m]...)
+}
+
+// ResultInto writes the nearest candidate ids (sorted by increasing
+// distance) into ids — and, when dists is non-nil, their squared distances
+// into dists — without allocating, and returns the count written. Both
+// destinations must have room for K() entries.
+func (b *KNNBuffer) ResultInto(ids []int32, dists []float64) int {
+	m := b.sortPrefix()
+	copy(ids, b.ids[:m])
+	if dists != nil {
+		copy(dists, b.dists[:m])
+	}
+	return m
 }
 
 // KthDist returns the exact k-th nearest squared distance collected so far

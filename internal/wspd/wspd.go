@@ -45,7 +45,8 @@ const forkThreshold = 8192
 // its own slice and the slices are concatenated at join points, so no
 // synchronization is needed beyond the joins themselves.
 func Compute(t *kdtree.Tree, s float64) []Pair {
-	if t.Root == nil || t.Root.IsLeaf() {
+	root := t.Root()
+	if root == nil || root.IsLeaf() {
 		return nil
 	}
 	dim := t.Pts.Dim
@@ -70,17 +71,18 @@ func Compute(t *kdtree.Tree, s float64) []Pair {
 		if a.IsLeaf() || (!b.IsLeaf() && kdtree.NodeSqDiameter(b, dim) > kdtree.NodeSqDiameter(a, dim)) {
 			split, other = b, a
 		}
+		sl, sr := t.Left(split), t.Right(split)
 		if split.Size()+other.Size() > forkThreshold {
 			var left, right []Pair
 			parlay.Do(
-				func() { findPair(split.Left, other, &left) },
-				func() { findPair(split.Right, other, &right) },
+				func() { findPair(sl, other, &left) },
+				func() { findPair(sr, other, &right) },
 			)
 			*out = append(*out, left...)
 			*out = append(*out, right...)
 		} else {
-			findPair(split.Left, other, out)
-			findPair(split.Right, other, out)
+			findPair(sl, other, out)
+			findPair(sr, other, out)
 		}
 	}
 
@@ -89,25 +91,26 @@ func Compute(t *kdtree.Tree, s float64) []Pair {
 		if nd.IsLeaf() {
 			return
 		}
+		l, r := t.Left(nd), t.Right(nd)
 		if nd.Size() > forkThreshold {
 			var left, right, cross []Pair
 			parlay.Do(
-				func() { rec(nd.Left, &left) },
-				func() { rec(nd.Right, &right) },
-				func() { findPair(nd.Left, nd.Right, &cross) },
+				func() { rec(l, &left) },
+				func() { rec(r, &right) },
+				func() { findPair(l, r, &cross) },
 			)
 			*out = append(*out, left...)
 			*out = append(*out, right...)
 			*out = append(*out, cross...)
 		} else {
-			rec(nd.Left, out)
-			rec(nd.Right, out)
-			findPair(nd.Left, nd.Right, out)
+			rec(l, out)
+			rec(r, out)
+			findPair(l, r, out)
 		}
 	}
 
 	var pairs []Pair
-	rec(t.Root, &pairs)
+	rec(root, &pairs)
 	return pairs
 }
 
