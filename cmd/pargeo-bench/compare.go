@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// runCompare implements the benchmark-regression gate:
+//
+//	pargeo-bench -compare old.json new.json -tolerance 0.35
+//
+// It matches the two documents' records by (experiment, name, n, dim) and
+// compares throughput. Because old.json is typically a committed baseline
+// from a DIFFERENT machine than the CI runner executing new.json, absolute
+// ratios are meaningless: a slower runner makes every benchmark "regress"
+// identically. The gate therefore normalizes by the median new/old ratio
+// across all matched records — a uniform machine-speed difference cancels
+// out — and fails only when an individual benchmark falls more than the
+// tolerance below that median, i.e. when one code path got slower
+// RELATIVE to the rest of the suite.
+//
+// Noise tolerance: single-repetition runs on shared CI runners jitter
+// easily by 10-20% per benchmark; the default tolerance of 0.35 is chosen
+// so the gate only trips on real, localized regressions (a code path
+// ~1.5x slower than its peers), not on runner noise. The known blind spot
+// is a UNIFORM slowdown of every benchmark, which normalization absorbs by
+// design; that direction is covered by regenerating the committed
+// BENCH_*.json on a fixed host whenever performance work lands.
+//
+// Exit status: 0 pass, 1 regression or error, 2 usage.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	tolerance := fs.Float64("tolerance", 0.35, "allowed fractional shortfall vs the median-normalized baseline")
+	// Accept the documented argument order: two paths, then flags.
+	var paths []string
+	for len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		paths = append(paths, args[0])
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pargeo-bench -compare old.json new.json [-tolerance 0.35]")
+		return 2
+	}
+	oldDoc, err := readBenchDoc(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 1
+	}
+	newDoc, err := readBenchDoc(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 1
+	}
+
+	type key struct {
+		exp, name string
+		n, dim    int
+	}
+	oldBy := make(map[key]BenchRecord)
+	for _, r := range oldDoc.Results {
+		oldBy[key{r.Experiment, r.Name, r.N, r.Dim}] = r
+	}
+
+	type pair struct {
+		k             key
+		before, after float64 // throughput (ops/s); derived from ns/op if absent
+		ratio         float64
+	}
+	var pairs []pair
+	unmatched := 0
+	for _, r := range newDoc.Results {
+		k := key{r.Experiment, r.Name, r.N, r.Dim}
+		o, ok := oldBy[k]
+		if !ok {
+			unmatched++
+			continue
+		}
+		ov, nv := throughput(o), throughput(r)
+		if ov <= 0 || nv <= 0 {
+			continue
+		}
+		pairs = append(pairs, pair{k, ov, nv, nv / ov})
+	}
+	if unmatched > 0 {
+		fmt.Printf("compare: %d new records have no baseline counterpart (skipped)\n", unmatched)
+	}
+	if len(pairs) == 0 {
+		fmt.Fprintln(os.Stderr, "compare: no comparable records — the gate would be vacuous; failing")
+		return 1
+	}
+
+	ratios := make([]float64, len(pairs))
+	for i, p := range pairs {
+		ratios[i] = p.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	fmt.Printf("compare: %d records matched; median new/old throughput ratio %.3f (machine-speed normalizer)\n",
+		len(pairs), median)
+
+	failed := 0
+	for _, p := range pairs {
+		norm := p.ratio / median
+		status := "ok"
+		if norm < 1-*tolerance {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("  %-40s old %12.4g new %12.4g normalized %.3f  %s\n",
+			p.k.exp+"/"+p.k.name, p.before, p.after, norm, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "compare: %d of %d benchmarks regressed more than %.0f%% vs the suite median\n",
+			failed, len(pairs), *tolerance*100)
+		return 1
+	}
+	fmt.Println("compare: no localized regressions beyond tolerance")
+	return 0
+}
+
+// throughput returns a record's ops/s, deriving it from ns/op when the
+// experiment only recorded latency.
+func throughput(r BenchRecord) float64 {
+	if r.OpsPerSec > 0 {
+		return r.OpsPerSec
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
+}
+
+func readBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

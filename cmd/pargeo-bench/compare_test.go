@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, recs []BenchRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(BenchDoc{Results: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(name string, ops float64) BenchRecord {
+	return BenchRecord{Experiment: "kdtree", Name: name, N: 1000, Dim: 2, OpsPerSec: ops}
+}
+
+// TestCompareMachineSpeedCancels: a uniform 3x slowdown (a slower CI
+// runner) must pass — the median normalization exists exactly for this.
+func TestCompareMachineSpeedCancels(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchRecord{rec("a", 300), rec("b", 3000), rec("c", 90)})
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{rec("a", 100), rec("b", 1000), rec("c", 30)})
+	if got := runCompare([]string{old, fresh, "-tolerance", "0.35"}); got != 0 {
+		t.Fatalf("uniform slowdown flagged: exit %d", got)
+	}
+}
+
+// TestCompareLocalizedRegressionFails: one benchmark 2x slower relative to
+// its peers must trip the gate.
+func TestCompareLocalizedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchRecord{rec("a", 100), rec("b", 100), rec("c", 100)})
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{rec("a", 100), rec("b", 100), rec("c", 50)})
+	if got := runCompare([]string{old, fresh}); got != 1 {
+		t.Fatalf("localized regression passed: exit %d", got)
+	}
+	// The same shortfall inside tolerance passes.
+	fresh2 := writeDoc(t, dir, "new2.json", []BenchRecord{rec("a", 100), rec("b", 100), rec("c", 80)})
+	if got := runCompare([]string{old, fresh2}); got != 0 {
+		t.Fatalf("in-tolerance jitter flagged: exit %d", got)
+	}
+}
+
+// TestCompareVacuousGateFails: when nothing matches (wrong n, renamed
+// benchmarks), the gate must fail loudly rather than pass emptily.
+func TestCompareVacuousGateFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchRecord{rec("a", 100)})
+	mismatched := BenchRecord{Experiment: "kdtree", Name: "a", N: 2000, Dim: 2, OpsPerSec: 100}
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{mismatched})
+	if got := runCompare([]string{old, fresh}); got != 1 {
+		t.Fatalf("vacuous compare passed: exit %d", got)
+	}
+}
+
+// TestCompareNsPerOpFallback: latency-only records compare via 1e9/ns_per_op.
+func TestCompareNsPerOpFallback(t *testing.T) {
+	dir := t.TempDir()
+	lat := func(name string, ns float64) BenchRecord {
+		return BenchRecord{Experiment: "kdtree", Name: name, N: 1000, Dim: 2, NsPerOp: ns}
+	}
+	old := writeDoc(t, dir, "old.json", []BenchRecord{lat("a", 100), lat("b", 100)})
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{lat("a", 100), lat("b", 250)})
+	if got := runCompare([]string{old, fresh}); got != 1 {
+		t.Fatalf("latency regression passed: exit %d", got)
+	}
+}
+
+// TestCompareUsage: bad argument shapes exit 2.
+func TestCompareUsage(t *testing.T) {
+	if got := runCompare([]string{"only-one.json"}); got != 2 {
+		t.Fatalf("missing arg: exit %d", got)
+	}
+}

@@ -18,78 +18,124 @@ import (
 // engineBench measures the serving path: mixed read/write throughput of the
 // concurrent query engine under w writer goroutines issuing small batched
 // updates and r reader goroutines issuing single-point k-NN and range
-// queries. The mutex baseline guards the same BDL-tree with one lock for
-// both queries and updates — what a caller would write without the engine —
-// so the table shows what snapshot isolation plus query grouping buys.
-func engineBench(n int, seed uint64) {
+// queries, swept over the engine's Morton shard count. Writers churn
+// disjoint quadrant regions of the domain, so with S > 1 their commit
+// streams land on different shards and commit in parallel — the sweep is
+// the multi-writer scaling axis the sharded engine adds. The mutex
+// baseline guards one BDL-tree with a single lock for both queries and
+// updates — what a caller would write without the engine — so the table
+// shows what snapshot isolation, query grouping, and sharding buy. Every
+// row is recorded for -json output; this experiment generates the
+// committed BENCH_engine.json.
+func engineBench(n int, seed uint64, shardCounts []int, measure time.Duration) {
 	fmt.Println("=== engine: mixed read/write serving throughput (3D uniform) ===")
 	const (
 		dim      = 3
 		k        = 5
 		updBatch = 512
-		measure  = 1500 * time.Millisecond
 	)
 	configs := []struct{ writers, readers int }{
 		{1, 4},
-		{1, 8},
 		{2, 8},
-		{2, 16},
+		{4, 8},
+		{8, 16},
 	}
+
+	// The seeded domain: the founding insertion fixes world box and shard
+	// boundaries, and writers derive their churn regions from its extent.
+	seedPts := generators.UniformCube(n, dim, seed)
+	domain := geom.BoundingBoxAll(seedPts)
 
 	type target struct {
 		name  string
 		setup func() (query func(q []float64), update func(ins, del geom.Points))
 	}
-	targets := []target{
-		{"engine", func() (func([]float64), func(ins, del geom.Points)) {
-			e := engine.New(dim, engine.Options{})
-			e.Insert(generators.UniformCube(n, dim, seed))
+	var targets []target
+	for _, s := range shardCounts {
+		s := s
+		targets = append(targets, target{fmt.Sprintf("engine-s%d", s), func() (func([]float64), func(ins, del geom.Points)) {
+			e := engine.New(dim, engine.Options{Shards: s})
+			e.Insert(seedPts)
 			return func(q []float64) { e.KNN(q, k) },
 				func(ins, del geom.Points) { e.Update(ins, del) }
-		}},
-		{"mutex-bdl", func() (func([]float64), func(ins, del geom.Points)) {
-			var mu sync.Mutex
-			tr := bdltree.New(dim, bdltree.Options{})
-			tr.Insert(generators.UniformCube(n, dim, seed))
-			return func(q []float64) {
-					mu.Lock()
-					tr.KNN(geom.Points{Data: q, Dim: dim}, k, nil)
-					mu.Unlock()
-				},
-				func(ins, del geom.Points) {
-					mu.Lock()
-					if del.Len() > 0 {
-						tr.Delete(del)
-					}
-					tr.Insert(ins)
-					mu.Unlock()
-				}
-		}},
+		}})
 	}
+	targets = append(targets, target{"mutex-bdl", func() (func([]float64), func(ins, del geom.Points)) {
+		var mu sync.Mutex
+		tr := bdltree.New(dim, bdltree.Options{})
+		tr.Insert(seedPts)
+		return func(q []float64) {
+				mu.Lock()
+				tr.KNN(geom.Points{Data: q, Dim: dim}, k, nil)
+				mu.Unlock()
+			},
+			func(ins, del geom.Points) {
+				mu.Lock()
+				if del.Len() > 0 {
+					tr.Delete(del)
+				}
+				tr.Insert(ins)
+				mu.Unlock()
+			}
+	}})
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "target\twriters\treaders\tqueries/s\tupdates/s")
 	for _, tg := range targets {
 		for _, cfg := range configs {
 			query, update := tg.setup()
-			queries, updates := runMixed(cfg.writers, cfg.readers, measure, dim, seed, updBatch, query, update)
+			queries, updates := runMixed(cfg.writers, cfg.readers, measure, domain, seed, updBatch, query, update)
 			secs := measure.Seconds()
+			qps := float64(queries) / secs
+			ups := float64(updates) / secs
 			fmt.Fprintf(w, "%s\t%d\t%d\t%.3g\t%.3g\n",
-				tg.name, cfg.writers, cfg.readers,
-				float64(queries)/secs, float64(updates)/secs)
+				tg.name, cfg.writers, cfg.readers, qps, ups)
+			record(BenchRecord{
+				Experiment: "engine",
+				Name:       fmt.Sprintf("%s/w=%d/r=%d/queries", tg.name, cfg.writers, cfg.readers),
+				N:          n, Dim: dim, Seconds: secs, OpsPerSec: qps,
+			})
+			record(BenchRecord{
+				Experiment: "engine",
+				Name:       fmt.Sprintf("%s/w=%d/r=%d/updates", tg.name, cfg.writers, cfg.readers),
+				N:          n, Dim: dim, Seconds: secs, OpsPerSec: ups,
+			})
 		}
 	}
 	w.Flush()
-	fmt.Println("\nEach update inserts a fresh batch of", updBatch, "points and deletes the")
-	fmt.Println("previous one (dataset stationary; both update halves exercised).")
-	fmt.Println("Engine readers never block on writers (snapshot isolation) and")
-	fmt.Println("concurrent queries group into shared data-parallel passes.")
+	fmt.Println("\nEach update inserts a fresh batch of", updBatch, "points into the writer's")
+	fmt.Println("quadrant and deletes the previous one (dataset stationary; both update")
+	fmt.Println("halves exercised). Engine readers never block on writers (snapshot")
+	fmt.Println("isolation), concurrent queries group into shared data-parallel passes,")
+	fmt.Println("and with S > 1 writers in disjoint quadrants commit on disjoint shards")
+	fmt.Println("in parallel. Update scaling with S needs real cores: on a single-core")
+	fmt.Println("host the shard commit streams time-slice one CPU.")
+}
+
+// writerRegion returns writer i's churn region: one cell of the 2x2
+// quadrant grid over the domain's LAST two dimensions — the ones holding a
+// Morton code's most significant bits, so the quantile boundaries of a
+// uniform domain separate exactly these quadrants and distinct quadrants
+// land on distinct shards for S >= 4.
+func writerRegion(i int, domain geom.Box) geom.Box {
+	b := geom.Box{Min: append([]float64(nil), domain.Min...), Max: append([]float64(nil), domain.Max...)}
+	for j := 0; j < 2 && j < len(b.Min); j++ {
+		d := len(b.Min) - 1 - j
+		mid := (domain.Min[d] + domain.Max[d]) / 2
+		if (i>>j)&1 == 0 {
+			b.Max[d] = mid
+		} else {
+			b.Min[d] = mid
+		}
+	}
+	return b
 }
 
 // runMixed drives the query/update closures from the requested goroutine
 // counts for the measurement window and returns completed operation counts.
-func runMixed(writers, readers int, d time.Duration, dim int, seed uint64,
+func runMixed(writers, readers int, d time.Duration, domain geom.Box, seed uint64,
 	updBatch int, query func([]float64), update func(ins, del geom.Points)) (queries, updates int64) {
+	dim := len(domain.Min)
 	var stop atomic.Bool
 	var q, u atomic.Int64
 	var wg sync.WaitGroup
@@ -98,15 +144,20 @@ func runMixed(writers, readers int, d time.Duration, dim int, seed uint64,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each writer churns its own private region so updates never
-			// collide across writers: every round inserts a fresh batch and
-			// deletes the previous one, keeping the dataset stationary and
-			// exercising both halves of the update path.
+			// Each writer churns its own quadrant so updates from different
+			// writers land on different shards: every round inserts a fresh
+			// batch and deletes the previous one, keeping the dataset
+			// stationary and exercising both halves of the update path.
+			region := writerRegion(i, domain)
+			r := rng.NewXoshiro256(seed + uint64(i)*1e6 + 17)
 			var prev geom.Points
-			for it := 0; !stop.Load(); it++ {
-				batch := generators.UniformCube(updBatch, dim, seed+uint64(i)*1e6+uint64(it))
-				for j := 0; j < batch.Len(); j++ {
-					batch.At(j)[0] += 1e7 * float64(i+1) // shift into the writer's region
+			for !stop.Load() {
+				batch := geom.NewPoints(updBatch, dim)
+				for j := 0; j < updBatch; j++ {
+					p := batch.At(j)
+					for c := range p {
+						p[c] = region.Min[c] + r.Float64()*(region.Max[c]-region.Min[c])
+					}
 				}
 				update(batch, prev)
 				prev = batch
@@ -123,7 +174,7 @@ func runMixed(writers, readers int, d time.Duration, dim int, seed uint64,
 			probe := make([]float64, dim)
 			for !stop.Load() {
 				for c := range probe {
-					probe[c] = r.Float64() * 100
+					probe[c] = domain.Min[c] + r.Float64()*(domain.Max[c]-domain.Min[c])
 				}
 				query(probe)
 				q.Add(1)

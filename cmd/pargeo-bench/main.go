@@ -25,6 +25,16 @@
 // BENCH_*.json perf-trajectory files are produced:
 //
 //	pargeo-bench -experiment kdtree -n 100000 -json BENCH_kdtree.json
+//	pargeo-bench -experiment engine -n 100000 -shards 1,2,4 -json BENCH_engine.json
+//
+// The engine experiment sweeps the Morton shard count (-shards) and the
+// per-configuration measurement window (-measure).
+//
+// Compare mode turns two such documents into a benchmark-regression gate
+// (exit 1 on a localized regression; see compare.go for the
+// median-normalization that makes cross-machine comparisons meaningful):
+//
+//	pargeo-bench -compare BENCH_kdtree.json fresh.json -tolerance 0.35
 package main
 
 import (
@@ -44,9 +54,17 @@ var (
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
 	flagVerify     = flag.Bool("verify", false, "cross-check results between implementations where cheap")
 	flagJSON       = flag.String("json", "", "write machine-readable results to this path")
+	flagShards     = flag.String("shards", "1,2,4", "comma-separated engine shard counts for the engine experiment sweep")
+	flagMeasure    = flag.Duration("measure", 1500*time.Millisecond, "measurement window per engine-experiment configuration")
 )
 
 func main() {
+	// Compare mode is a subcommand with its own argument shape
+	// (`pargeo-bench -compare old.json new.json -tolerance 0.35`), handled
+	// before the experiment flags.
+	if len(os.Args) >= 2 && (os.Args[1] == "-compare" || os.Args[1] == "--compare") {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	flag.Parse()
 	threads := parseThreads(*flagThreads)
 	fmt.Printf("pargeo-bench: n=%d, host CPUs=%d, threads=%v\n\n", *flagN, runtime.NumCPU(), threads)
@@ -69,7 +87,7 @@ func main() {
 	run("hullstats", func() { hullStats(*flagN, *flagSeed) })
 	run("sebstats", func() { sebStats(*flagN, *flagSeed) })
 	run("zdcompare", func() { zdCompare(*flagN, *flagSeed) })
-	run("engine", func() { engineBench(*flagN, *flagSeed) })
+	run("engine", func() { engineBench(*flagN, *flagSeed, parseThreads(*flagShards), *flagMeasure) })
 	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
 	if !matched {
 		// A typo must not silently run nothing (and, with -json, clobber a

@@ -1,11 +1,14 @@
-// Serving: drive the concurrent spatial query engine from many client
-// goroutines at once — the workload the BDL-tree's batch-dynamic design
-// targets. A fleet of couriers streams position updates while concurrent
-// clients ask "which couriers are nearest me?" and "how many couriers are
-// in this district?". The engine gives every query a fully committed
-// snapshot (no locks on the read path), coalesces concurrent updates into
-// BDL-tree batches, and groups concurrent queries into shared data-parallel
-// passes.
+// Serving: drive the Morton-sharded concurrent spatial query engine from
+// many client goroutines at once — the workload the BDL-tree's
+// batch-dynamic design targets. A fleet of couriers streams position
+// updates while concurrent clients ask "which couriers are nearest me?"
+// and "how many couriers are in this district?". The engine partitions the
+// city into Morton-range shards (one BDL-tree each): movers working
+// different districts commit on different shards truly in parallel, a
+// mover whose batch straddles districts still publishes it all-or-nothing
+// (two-phase shard publish), every query reads a fully committed snapshot
+// with no locks, and concurrent queries group into shared data-parallel
+// passes fanned out over the shards.
 package main
 
 import (
@@ -21,41 +24,76 @@ func main() {
 	const (
 		dim      = 2
 		couriers = 20000 // fleet size
-		movers   = 2     // goroutines streaming position updates
+		movers   = 4     // goroutines streaming position updates, one per district
 		clients  = 8     // goroutines issuing queries
 		moveB    = 1000  // couriers re-positioned per update batch
-		rounds   = 20    // update batches per mover
+		rounds   = 10    // update batches per mover
 	)
 
-	e := pargeo.NewEngine(dim, pargeo.EngineOptions{})
+	e := pargeo.NewEngine(dim, pargeo.EngineOptions{Shards: movers})
 
-	// Seed the fleet. Each mover owns a disjoint slice of couriers so its
-	// delete+insert batches never collide with another mover's.
+	// Seed the fleet uniformly over the city. This founding insertion also
+	// fixes the shard boundaries: Morton quantiles of a uniform city are
+	// close to its quadrants, so each mover's district below lives mostly
+	// in its own shard and the movers' commit streams rarely contend.
 	fleet := pargeo.Uniform(couriers, dim, 1)
 	res := e.Insert(fleet)
-	fmt.Printf("fleet of %d couriers live at epoch %d\n", e.Size(), res.Epoch)
+	city := pargeo.BoundingBox(fleet)
+	fmt.Printf("fleet of %d couriers live at epoch %d, %d shards %v\n",
+		e.Size(), res.Epoch, e.Snapshot().Shards(), e.Snapshot().ShardSizes())
 
 	var queries, updates atomic.Int64
 	var stop atomic.Bool
 	var wg sync.WaitGroup
 	start := time.Now()
 
+	// Each mover owns one quadrant district: it repeatedly picks a block of
+	// its district's couriers and moves them to fresh positions inside the
+	// district — old positions out, new positions in, one atomic commit.
+	midX := (city.Min[0] + city.Max[0]) / 2
+	midY := (city.Min[1] + city.Max[1]) / 2
+	district := func(m int) pargeo.Box {
+		b := pargeo.Box{Min: append([]float64(nil), city.Min...), Max: append([]float64(nil), city.Max...)}
+		if m%2 == 0 {
+			b.Max[0] = midX
+		} else {
+			b.Min[0] = midX
+		}
+		if m/2 == 0 {
+			b.Max[1] = midY
+		} else {
+			b.Min[1] = midY
+		}
+		return b
+	}
 	for m := 0; m < movers; m++ {
 		m := m
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lo := m * (couriers / movers)
+			d := district(m)
+			w := []float64{d.Max[0] - d.Min[0], d.Max[1] - d.Min[1]}
+			// The mover's block of the original fleet goes out with its
+			// first commit and comes back with its last, so the fleet size
+			// is unchanged once the run settles.
+			home := fleet.Slice(m*moveB, (m+1)*moveB)
+			cur := home
 			for r := 0; r < rounds; r++ {
-				// Old positions out, new positions in — one atomic commit.
-				off := lo + (r*moveB)%(couriers/movers-moveB)
-				old := fleet.Slice(off, off+moveB)
+				// Uniform's extent depends on its n; rescale by the batch's
+				// own bounding box so positions cover the whole district.
 				moved := pargeo.Uniform(moveB, dim, uint64(m*rounds+r)+100)
-				e.Update(moved, old)
-				// Keep the local record current for the next round.
-				copy(old.Data, moved.Data)
+				mb := pargeo.BoundingBox(moved)
+				for i := 0; i < moved.Len(); i++ {
+					p := moved.At(i)
+					p[0] = d.Min[0] + (p[0]-mb.Min[0])/(mb.Max[0]-mb.Min[0])*w[0]
+					p[1] = d.Min[1] + (p[1]-mb.Min[1])/(mb.Max[1]-mb.Min[1])*w[1]
+				}
+				e.Update(moved, cur) // previous block out, new block in, one commit
+				cur = moved
 				updates.Add(1)
 			}
+			e.Update(home, cur)
+			updates.Add(1)
 		}()
 	}
 
@@ -70,12 +108,14 @@ func main() {
 				// Nearest 3 couriers to this client.
 				near := e.KNN(q, 3)
 				// District load: couriers within a 10x10 box, answered on
-				// the same engine concurrently with the k-NN traffic.
-				district := pargeo.Box{
+				// the same engine concurrently with the k-NN traffic. The
+				// box usually overlaps one shard; the engine prunes the
+				// rest by Morton-range intersection.
+				load := pargeo.Box{
 					Min: []float64{q[0] - 5, q[1] - 5},
 					Max: []float64{q[0] + 5, q[1] + 5},
 				}
-				n := e.RangeCount(district)
+				n := e.RangeCount(load)
 				if len(near) != 3 || n < 0 {
 					panic("serving: impossible answer")
 				}
@@ -86,7 +126,7 @@ func main() {
 
 	// Movers run a fixed workload; clients stream until the fleet settles.
 	go func() {
-		for updates.Load() < int64(movers*rounds) {
+		for updates.Load() < int64(movers*(rounds+1)) {
 			time.Sleep(time.Millisecond)
 		}
 		stop.Store(true)
@@ -98,8 +138,8 @@ func main() {
 	// each other even while the engine keeps moving underneath.
 	snap := e.Snapshot()
 	everything := pargeo.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}
-	fmt.Printf("final epoch %d, fleet size %d (snapshot count %d)\n",
-		snap.Epoch(), snap.Size(), snap.RangeCount(everything))
+	fmt.Printf("final epoch %d, fleet size %d (snapshot count %d), shard sizes %v\n",
+		snap.Epoch(), snap.Size(), snap.RangeCount(everything), snap.ShardSizes())
 	fmt.Printf("%d queries and %d update batches in %v (%.0f queries/s)\n",
 		queries.Load(), updates.Load(), elapsed.Round(time.Millisecond),
 		float64(queries.Load())/elapsed.Seconds())

@@ -66,6 +66,37 @@ func (t *Tree) Insert(batch geom.Points) []int32 {
 		ids[i] = t.nextID
 		t.nextID++
 	}
+	t.insertWithIDs(batch, ids)
+	return ids
+}
+
+// InsertWithIDs performs the batch insertion of Insert with caller-assigned
+// global ids (one per batch row) instead of tree-local ones. This is the
+// entry point for shard trees, whose ids must be unique across a whole
+// sharded engine: the caller reserves a global id block and each shard
+// inserts its slice of the batch carrying the matching slice of ids. The
+// internal id generator is advanced past every supplied id, so internal
+// reassignment (deletion rebalancing) can never collide with a live
+// caller-assigned id.
+func (t *Tree) InsertWithIDs(batch geom.Points, ids []int32) {
+	if batch.Dim != t.dim {
+		panic("bdltree: dimension mismatch")
+	}
+	if batch.Len() != len(ids) {
+		panic("bdltree: id count mismatch")
+	}
+	for _, id := range ids {
+		if id >= t.nextID {
+			t.nextID = id + 1
+		}
+	}
+	t.insertWithIDs(batch, ids)
+}
+
+// insertWithIDs is the shared body of Insert and InsertWithIDs: ids are
+// already assigned and t.nextID already advanced past them.
+func (t *Tree) insertWithIDs(batch geom.Points, ids []int32) {
+	b := batch.Len()
 	t.size += b
 	// Loose points: buffer contents + batch.
 	coords := make([]float64, 0, (t.buffer.size()+b)*t.dim)
@@ -80,7 +111,7 @@ func (t *Tree) Insert(batch geom.Points) []int32 {
 	k := loose / t.x
 	if k == 0 {
 		t.rebuildBuffer(coords, gids, loose)
-		return ids
+		return
 	}
 	// Bitmask arithmetic: F_new = F + k.
 	f := 0
@@ -144,7 +175,6 @@ func (t *Tree) Insert(batch geom.Points) []int32 {
 		cp := geom.Points{Data: append([]float64(nil), sub.Data...), Dim: t.dim}
 		t.trees[jb.slot] = newVEBTree(cp, append([]int32(nil), poolIDs[jb.lo:jb.hi]...), t.split)
 	})
-	return ids
 }
 
 func (t *Tree) rebuildBuffer(coords []float64, gids []int32, count int) {

@@ -1,0 +1,50 @@
+package bdltree
+
+import (
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+)
+
+// Shard-facing API: a Morton-sharded engine runs one BDL-tree per shard and
+// needs three things the batch API does not give it — construction from a
+// pre-partitioned slice, insertion under engine-assigned global ids, and a
+// k-NN entry point that accumulates into a caller-owned buffer so one
+// query's candidate set (and its shrinking radius bound) can be threaded
+// across several shard trees.
+
+// NewFromSorted builds a tree directly from a pre-sorted contiguous slice
+// of points carrying their global ids — the per-shard construction step of
+// a sharded bulk load, where the caller has Morton-sorted the input and cut
+// it into per-shard slices. The slice order is preserved into the initial
+// buffer/static-tree layout, so Morton-sorted input keeps spatially nearby
+// points nearby in the built trees' storage.
+func NewFromSorted(dim int, opts Options, pts geom.Points, ids []int32) *Tree {
+	t := New(dim, opts)
+	if pts.Len() > 0 {
+		t.InsertWithIDs(pts, ids)
+	}
+	return t
+}
+
+// PersistentInsertWithIDs is PersistentInsert under caller-assigned global
+// ids: it returns a new tree containing the receiver's live points plus the
+// batch, leaving the receiver untouched and queryable. See InsertWithIDs
+// for the id contract.
+func (t *Tree) PersistentInsertWithIDs(batch geom.Points, ids []int32) *Tree {
+	nt := t.shallowClone()
+	nt.InsertWithIDs(batch, ids)
+	return nt
+}
+
+// KNNInto adds the tree's candidates for query q into buf, which the caller
+// owns and may have pre-loaded with candidates from other trees. The
+// buffer's current k-th-distance bound prunes this tree's traversal, so
+// visiting a sequence of shard trees through one buffer gives each
+// successive tree a tighter radius — the shared shrinking-radius walk of a
+// sharded k-NN. exclude (or -1) is a global id to skip.
+func (t *Tree) KNNInto(q []float64, exclude int32, buf *kdtree.KNNBuffer) {
+	t.buffer.knnInto(q, exclude, buf)
+	for _, tr := range t.trees {
+		tr.knnInto(q, exclude, buf)
+	}
+}

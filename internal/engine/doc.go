@@ -1,57 +1,102 @@
-// Package engine is a concurrent spatial query service over the BDL-tree:
-// it makes the batch-dynamic kd-tree of §5 safe — and fast — to share among
-// many client goroutines issuing point queries and small updates, the
-// serving shape the library's static batch API does not cover.
+// Package engine is a concurrent spatial query service over Morton-sharded
+// BDL-trees: it makes the batch-dynamic kd-tree of §5 safe — and fast — to
+// share among many client goroutines issuing point queries and small
+// updates, and scales the write path past a single commit stream by
+// partitioning space into shards whose updates commit independently.
 //
-// # Snapshot protocol
+// # Sharding
 //
-// The engine never lets a query and an update touch the same mutable state.
-// All reads go through an immutable published Snapshot — a BDL-tree version
-// plus its epoch number — held behind a single atomic pointer:
+// Space is partitioned into S contiguous Morton-code ranges (S ≈
+// GOMAXPROCS via AutoShards, or Options.Shards). The boundaries are chosen
+// once, by sampling the Morton codes of the first committed insertion (the
+// "founding commit") and placing them at sample quantiles; the partition
+// is immutable thereafter — rebalance-free — so routing and pruning read
+// it without synchronization. Each shard owns one BDL-tree plus its
+// persistent (copy-on-write) version chain and its own flat-combining
+// committer. A spatial workload partitions naturally along the Morton
+// curve: most small update batches are spatially local, fall entirely into
+// one shard, and therefore commit without ever contending with the other
+// shards' write streams.
 //
-//	queries:  load snap -> traverse the (frozen) tree version
-//	updates:  derive next version copy-on-write -> publish with one store
+// # Snapshot protocol and two-phase publish
 //
-// Tree versions are derived with bdltree.PersistentInsert and
+// The engine never lets a query and an update touch the same mutable
+// state. All reads go through an immutable published Snapshot — the
+// *vector* of per-shard tree versions plus its epoch — held behind a
+// single atomic pointer:
+//
+//	queries:  load snap -> traverse the (frozen) shard versions
+//	updates:  phase 1: prepare affected shards' next versions copy-on-write
+//	          phase 2: swap the shard-vector pointer (one atomic store)
+//
+// Phase 1 is the expensive part (persistent BDL batch insertion/deletion,
+// tree rebuilds) and runs outside any global lock: each shard's version
+// preparation is guarded only by that shard's commit lock, so disjoint
+// shards prepare and commit truly in parallel. Phase 2 is tiny — an O(S)
+// pointer-vector copy and an epoch increment under one short publish lock
+// — so the serialized fraction of a commit does not grow with batch size
+// or tree size.
+//
+// A batch that spans multiple shards takes the global commit path: it
+// acquires all affected shards' commit locks in ascending shard order
+// (deadlock-free against both single-shard committers and other
+// multi-shard committers), prepares every affected shard's version in
+// parallel via the scheduler, and installs them with ONE vector swap.
+// Readers therefore observe a multi-shard batch all-or-nothing: there is
+// no instant at which some of its shards are visible and others are not.
+//
+// Consistency guarantee: every query (and every query group) runs entirely
+// against one snapshot load. The counts, ids, and neighbors it returns are
+// exactly those of some epoch's point set; epochs observed by any single
+// goroutine are monotonically non-decreasing; and Update blocks until the
+// snapshot containing its whole batch is published, so a client's own
+// writes are visible to its subsequent queries. Global ids are assigned
+// from one engine-wide counter (block-reserved per update), unique across
+// shards.
+//
+// # Write combining
+//
+// Concurrent small updates coalesce per routing target, amortizing the
+// BDL-tree's batch cost exactly as the paper's batch-dynamic design
+// intends. The first writer to arrive at a shard's (or the global
+// stream's) combiner becomes the committer; writers that arrive while a
+// commit is in flight park on a pending list, and the whole list commits
+// as one group. A committer serves exactly one group, then hands the baton
+// to a pending waiter, so no caller is conscripted indefinitely. Within a
+// group, deletion batches apply in arrival order (each result reports its
+// own removal count), all before any insertion.
+//
+// # Query fan-out
+//
+// Queries prune and fan out over the shards using the partition's
+// conservative Morton-range geometry (internal/morton's aligned-cell
+// decomposition; clamped and rounding-displaced points are covered, so
+// pruning never drops an answer):
+//
+//   - Range queries test the query box against each shard's cell boxes and
+//     search only overlapping shards, in parallel via parlay.Submit,
+//     concatenating the results.
+//   - k-NN queries visit shards nearest-first through one shared k-NN
+//     buffer: the buffer's k-th-distance bound shrinks as shards are
+//     visited and prunes — with a sorted visit order, usually truncates —
+//     the remaining shards. The bounded buffer (kdtree.KNNBuffer, the
+//     paper's k-NN buffer) is simultaneously the merge structure: feeding
+//     every visited shard through it yields the exact global k nearest.
+//
+// Reads combine like writes: the first querier becomes the group leader
+// and fans the collected group out through the work-stealing scheduler
+// against one snapshot load — k-NN requests with equal k merge into a
+// single data-parallel multi-query pass. An uncontended query skips the
+// grouping machinery. Clients that need several queries against the same
+// version use Engine.Snapshot and query the handle directly.
+//
+// # Storage
+//
+// Tree versions are derived with bdltree.PersistentInsertWithIDs and
 // bdltree.PersistentDelete, which exploit the logarithmic method's own
 // structure: an insertion rebuilds a prefix of the static trees and shares
 // the rest with the parent version untouched; a deletion clones only the
 // per-tree tombstone bitmaps. A commit is therefore cheap, proportional to
-// the structural change, and the previous version stays valid for readers
-// that loaded it before the swap.
-//
-// Consistency guarantee: every query (and every query group, below) runs
-// entirely against one committed snapshot. A query never observes a
-// half-applied batch — the counts, ids, and neighbors it returns are exactly
-// those of some epoch's point set — and epochs observed by any single
-// goroutine are monotonically non-decreasing. Updates are linearized by the
-// commit order; Update blocks until the snapshot containing its batch is
-// published, so a client's own writes are visible to its subsequent queries.
-//
-// # Write combining
-//
-// Concurrent small updates coalesce, amortizing the BDL-tree's batch cost
-// exactly as the paper's batch-dynamic design intends (and as POP-style
-// problem granularization argues for serving paths). The first writer to
-// arrive becomes the committer; writers that arrive while a commit is in
-// flight park on a pending list, and the whole list commits as one group.
-// A committer serves exactly one group: if more writers are pending when
-// it finishes, it hands the committer baton to one of them, so no caller's
-// goroutine is conscripted into serving others indefinitely. Within one
-// commit group, deletion batches apply in arrival order (each result
-// reports its own removal count), all before any insertion; a writer
-// observing its Update return is guaranteed the whole group is committed.
-//
-// # Query grouping
-//
-// Reads combine the same way: the first querier becomes the group leader
-// and fans the collected group out through the parlay work-stealing
-// scheduler (parlay.Submit) against one snapshot load — k-NN requests with
-// equal k merge into a single data-parallel multi-query pass over the tree,
-// so a burst of N single-point queries from N goroutines costs one
-// scheduler entry, not N round-trips. A leader serves one group and hands
-// the baton on, like the committer; an uncontended query (group of one)
-// skips the grouping machinery and answers directly. Clients that need
-// several queries against the same version use Engine.Snapshot and query
-// the handle directly.
+// the structural change of its own shard, and a superseded version stays
+// valid for readers that loaded it before the swap.
 package engine

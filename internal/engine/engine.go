@@ -1,14 +1,26 @@
 package engine
 
 import (
+	"math"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"pargeo/internal/bdltree"
 	"pargeo/internal/geom"
 	"pargeo/internal/kdtree"
+	"pargeo/internal/morton"
 	"pargeo/internal/parlay"
 )
+
+// AutoShards, passed as Options.Shards, selects one shard per GOMAXPROCS
+// worker at engine creation.
+const AutoShards = -1
+
+// DefaultShardSampleSize bounds how many points of the partition-defining
+// commit are sampled to place shard boundaries.
+const DefaultShardSampleSize = 4096
 
 // Options configure an Engine.
 type Options struct {
@@ -16,50 +28,19 @@ type Options struct {
 	Split bdltree.SplitRule
 	// BufferSize is the BDL buffer-tree capacity X (0 = bdltree default).
 	BufferSize int
-}
-
-// Snapshot is one immutable committed version of the point set: a frozen
-// BDL-tree plus the epoch at which it was published. All methods are safe
-// for concurrent use and always answer from this version, regardless of
-// later commits.
-type Snapshot struct {
-	tree  *bdltree.Tree
-	epoch uint64
-}
-
-// Epoch returns the snapshot's commit epoch (0 for the empty initial
-// version).
-func (s *Snapshot) Epoch() uint64 { return s.epoch }
-
-// Size returns the number of live points in the snapshot.
-func (s *Snapshot) Size() int { return s.tree.Size() }
-
-// KNN returns, for each query row, the global ids of its k nearest points,
-// data-parallel over the queries.
-func (s *Snapshot) KNN(queries geom.Points, k int) [][]int32 {
-	return s.tree.KNN(queries, k, nil)
-}
-
-// RangeSearch returns the global ids of all points inside the closed box.
-func (s *Snapshot) RangeSearch(box geom.Box) []int32 {
-	return s.tree.RangeSearch(box)
-}
-
-// RangeCount returns the number of points inside the closed box.
-func (s *Snapshot) RangeCount(box geom.Box) int {
-	return s.tree.RangeCount(box)
-}
-
-// Points returns the coordinates and global ids of the snapshot's live
-// points (a verification helper for differential tests; O(n)).
-func (s *Snapshot) Points() (geom.Points, []int32) {
-	return s.tree.Points()
+	// Shards is the number of Morton-range shards S: independent BDL-trees
+	// whose disjoint updates commit in parallel. 0 or 1 runs unsharded
+	// (one tree, one committer); AutoShards picks GOMAXPROCS. Boundaries
+	// are sampled from the first committed insertion and never rebalanced.
+	Shards int
+	// ShardSampleSize caps the boundary-placement sample (0 = default).
+	ShardSampleSize int
 }
 
 // UpdateResult reports a committed update.
 type UpdateResult struct {
 	// IDs are the global ids assigned to this request's inserted points,
-	// in batch order.
+	// in batch order. Ids are engine-global: unique across all shards.
 	IDs []int32
 	// Deleted is the number of live points removed by this request's
 	// deletion batch. Within a commit group, deletion batches apply in
@@ -71,10 +52,29 @@ type UpdateResult struct {
 }
 
 type updateReq struct {
-	ins, del geom.Points
-	res      UpdateResult
-	done     chan struct{}
-	lead     chan struct{} // baton: receiver becomes the next committer
+	ins    geom.Points
+	insIDs []int32 // global ids reserved for ins rows, in batch order
+	del    geom.Points
+	res    UpdateResult
+	done   chan struct{}
+	lead   chan struct{} // baton: receiver becomes the next committer
+}
+
+// combiner is one flat-combining queue: the first arrival becomes the
+// leader, later arrivals park, and a leader serves exactly one drained
+// group before handing the baton on.
+type combiner struct {
+	mu      sync.Mutex
+	pending []*updateReq
+	active  bool
+}
+
+// shard is one Morton-range shard's write machinery. comb coalesces the
+// shard's single-shard updates; commitMu serializes version preparation
+// for this shard between its own committer and multi-shard committers.
+type shard struct {
+	comb     combiner
+	commitMu sync.Mutex
 }
 
 const (
@@ -94,18 +94,26 @@ type queryReq struct {
 	lead  chan struct{} // baton: receiver becomes the next group leader
 }
 
-// Engine is a concurrent spatial query service over the BDL-tree. See the
-// package documentation for the snapshot/epoch protocol. All methods are
-// safe for concurrent use by any number of goroutines.
+// Engine is a concurrent spatial query service over Morton-sharded
+// BDL-trees. See the package documentation for the snapshot/epoch protocol
+// and the two-phase shard publish. All methods are safe for concurrent use
+// by any number of goroutines.
 type Engine struct {
-	dim  int
-	opts Options
-	snap atomic.Pointer[Snapshot]
+	dim    int
+	opts   Options
+	nshard int
 
-	// Write path: pending update requests and the committer baton.
-	wmu      sync.Mutex
-	wpending []*updateReq
-	wactive  bool
+	snap   atomic.Pointer[Snapshot]
+	part   atomic.Pointer[partition] // set once, by the founding commit
+	nextID atomic.Int64              // engine-global id block reservation
+
+	// publishMu guards the snapshot swap (phase two of every commit): an
+	// O(S) vector copy plus one atomic store, so the serialized section of
+	// a commit is tiny regardless of batch size.
+	publishMu sync.Mutex
+
+	shards []*shard
+	global combiner // multi-shard and pre-partition updates
 
 	// Read path: pending query requests and the group-leader baton.
 	qmu      sync.Mutex
@@ -130,12 +138,27 @@ func (e *Engine) knnPool(k int) *kdtree.BufferPool {
 // New returns an engine serving dim-dimensional points, publishing an empty
 // epoch-0 snapshot.
 func New(dim int, opts Options) *Engine {
-	e := &Engine{dim: dim, opts: opts}
-	e.snap.Store(&Snapshot{tree: bdltree.New(dim, bdltree.Options{
-		Split:      opts.Split,
-		BufferSize: opts.BufferSize,
-	})})
+	ns := opts.Shards
+	if ns == AutoShards {
+		ns = runtime.GOMAXPROCS(0)
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	if opts.ShardSampleSize <= 0 {
+		opts.ShardSampleSize = DefaultShardSampleSize
+	}
+	e := &Engine{dim: dim, opts: opts, nshard: ns}
+	e.shards = make([]*shard, ns)
+	for i := range e.shards {
+		e.shards[i] = &shard{}
+	}
+	e.snap.Store(&Snapshot{trees: []*bdltree.Tree{e.newTree()}})
 	return e
+}
+
+func (e *Engine) newTree() *bdltree.Tree {
+	return bdltree.New(e.dim, bdltree.Options{Split: e.opts.Split, BufferSize: e.opts.BufferSize})
 }
 
 // Snapshot returns the latest committed version. The handle stays valid —
@@ -149,13 +172,19 @@ func (e *Engine) Size() int { return e.Snapshot().Size() }
 // Epoch returns the latest committed epoch.
 func (e *Engine) Epoch() uint64 { return e.Snapshot().Epoch() }
 
+// Shards returns the engine's configured shard count.
+func (e *Engine) Shards() int { return e.nshard }
+
 // --- write path ---------------------------------------------------------
 
 // Update atomically applies a deletion batch and an insertion batch
 // (deletions first) and blocks until the snapshot containing them is
-// published. Either batch may be empty. Concurrent updates coalesce: all
-// requests pending when a commit starts are applied together — insertions
-// as one combined BDL-tree batch — and published as a single new snapshot.
+// published. Either batch may be empty. Concurrent updates coalesce per
+// routing target: updates confined to one shard combine with that shard's
+// stream and commit independently of — and in parallel with — other
+// shards' streams; updates spanning shards combine on a global stream and
+// publish all their shard versions in one swap, so readers see a
+// multi-shard batch all-or-nothing.
 func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 	if insert.Len() > 0 && insert.Dim != e.dim {
 		panic("engine: insert batch dimension mismatch")
@@ -164,37 +193,29 @@ func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 		panic("engine: delete batch dimension mismatch")
 	}
 	req := &updateReq{ins: insert, del: del, done: make(chan struct{}), lead: make(chan struct{})}
-	e.wmu.Lock()
-	e.wpending = append(e.wpending, req)
-	if e.wactive {
-		e.wmu.Unlock()
-		// Wait to be answered — or to inherit the committer baton from a
-		// leader bounding its own time in office.
-		select {
-		case <-req.done:
-			return req.res
-		case <-req.lead:
+	if n := insert.Len(); n > 0 {
+		base := e.nextID.Add(int64(n)) - int64(n)
+		if base+int64(n) > math.MaxInt32 {
+			// The id space is int32 end to end (bdltree global ids); a
+			// wrapped id would collide with live ids across shards, so
+			// exhausting ~2.1e9 cumulative insertions fails loudly.
+			panic("engine: global id space exhausted")
 		}
-	} else {
-		e.wactive = true
-		e.wmu.Unlock()
+		req.insIDs = make([]int32, n)
+		for i := range req.insIDs {
+			req.insIDs[i] = int32(base) + int32(i)
+		}
 	}
-	// Committer: commit the pending group (which contains this request),
-	// then either clear the baton or hand it to a still-pending waiter.
-	// One group per leader bounds every caller's latency to one commit
-	// beyond its own, however sustained the write load.
-	e.wmu.Lock()
-	group := e.wpending
-	e.wpending = nil
-	e.wmu.Unlock()
-	e.commitGroup(group)
-	e.wmu.Lock()
-	if len(e.wpending) == 0 {
-		e.wactive = false
-	} else {
-		close(e.wpending[0].lead)
+	part := e.part.Load()
+	if part != nil {
+		if s, single := singleShard(part, insert, del); single {
+			e.submitUpdate(&e.shards[s].comb, req, func(group []*updateReq) {
+				e.commitShard(s, group)
+			})
+			return req.res
+		}
 	}
-	e.wmu.Unlock()
+	e.submitUpdate(&e.global, req, e.commitGlobal)
 	return req.res
 }
 
@@ -209,48 +230,305 @@ func (e *Engine) Delete(batch geom.Points) UpdateResult {
 	return e.Update(geom.Points{Dim: e.dim}, batch)
 }
 
-// commitGroup derives the next tree version from the published snapshot
-// copy-on-write, publishes it with one atomic store, and releases the
-// waiters. Runs with the committer baton held (no concurrent commit).
-func (e *Engine) commitGroup(group []*updateReq) {
-	old := e.snap.Load()
-	tree := old.tree
+// singleShard reports whether every row of both batches routes to one
+// shard, and which. An empty update trivially routes to shard 0.
+func singleShard(p *partition, ins, del geom.Points) (int, bool) {
+	s := -1
+	for _, batch := range []geom.Points{ins, del} {
+		for i, n := 0, batch.Len(); i < n; i++ {
+			sh := p.shardOf(batch.At(i))
+			if s == -1 {
+				s = sh
+			} else if sh != s {
+				return -1, false
+			}
+		}
+	}
+	if s == -1 {
+		s = 0
+	}
+	return s, true
+}
 
-	// Deletions apply per request, in arrival order, so each result can
-	// report its own removal count (a combined batch could not attribute
-	// points matched by several requests). Chaining persistent deletes
-	// keeps one commit: only the final version is published.
+// submitUpdate runs the flat-combining protocol on c: enqueue req, then
+// either wait to be answered or — as the leader — drain one group, commit
+// it, and pass the baton to a still-pending waiter. One group per leader
+// bounds every caller's latency to one commit beyond its own, however
+// sustained the write load.
+func (e *Engine) submitUpdate(c *combiner, req *updateReq, commit func([]*updateReq)) {
+	c.mu.Lock()
+	c.pending = append(c.pending, req)
+	if c.active {
+		c.mu.Unlock()
+		select {
+		case <-req.done:
+			return
+		case <-req.lead:
+		}
+	} else {
+		c.active = true
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	group := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	commit(group)
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.active = false
+	} else {
+		close(c.pending[0].lead)
+	}
+	c.mu.Unlock()
+}
+
+// finish publishes each request's result and releases its waiter.
+func finish(group []*updateReq, perDeleted []int, epoch uint64) {
+	for i, r := range group {
+		r.res = UpdateResult{IDs: r.insIDs, Deleted: perDeleted[i], Epoch: epoch}
+		close(r.done)
+	}
+}
+
+// commitShard commits one shard-local group: phase one prepares the
+// shard's next tree version copy-on-write under the shard's commit lock
+// (other shards keep committing concurrently), phase two swaps the shard
+// vector. Deletions apply per request in arrival order so each result
+// reports its own removal count; insertions combine into one batch.
+func (e *Engine) commitShard(s int, group []*updateReq) {
+	sh := e.shards[s]
+	sh.commitMu.Lock()
+	old := e.snap.Load()
+	tree := old.trees[s]
+	orig := tree
 	perDeleted := make([]int, len(group))
 	for i, r := range group {
 		if r.del.Len() > 0 {
 			tree, perDeleted[i] = tree.PersistentDelete(r.del)
 		}
 	}
-
 	var insData []float64
-	rows := make([]int, len(group)+1) // request i inserted rows [rows[i], rows[i+1])
-	for i, r := range group {
-		rows[i] = len(insData) / e.dim
+	var insIDs []int32
+	for _, r := range group {
 		insData = append(insData, r.ins.Data...)
+		insIDs = append(insIDs, r.insIDs...)
 	}
-	rows[len(group)] = len(insData) / e.dim
+	if len(insIDs) > 0 {
+		tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
+	}
+	epoch := old.epoch
+	if tree != orig {
+		epoch = e.publish(func(vec []*bdltree.Tree) { vec[s] = tree })
+	}
+	sh.commitMu.Unlock()
+	finish(group, perDeleted, epoch)
+}
+
+// commitGlobal commits one group from the global stream: multi-shard
+// updates, everything before the partition exists, and all updates of an
+// unsharded engine.
+func (e *Engine) commitGlobal(group []*updateReq) {
+	part := e.part.Load()
+	if part == nil {
+		if e.nshard > 1 {
+			for _, r := range group {
+				if r.ins.Len() > 0 {
+					e.commitFounding(group)
+					return
+				}
+			}
+		}
+		// Unsharded engine, or a sharded one that has only ever seen
+		// deletions (its single tree is still empty): the single-tree
+		// commit is exactly the shard-0 commit.
+		e.commitShard(0, group)
+		return
+	}
+	e.commitMulti(part, group)
+}
+
+// commitFounding is the partition-defining commit of a sharded engine: the
+// first committed insertion. It pools the group's insertions, samples their
+// Morton codes to place the shard boundaries, sorts the pool into Morton
+// order, cuts it into per-shard contiguous slices, builds all shard trees
+// in parallel, and publishes partition and shard vector together. Deletion
+// batches in the group apply before insertions, i.e. against the empty
+// pre-partition tree: they remove nothing.
+func (e *Engine) commitFounding(group []*updateReq) {
+	var data []float64
 	var ids []int32
-	if len(insData) > 0 {
-		tree, ids = tree.PersistentInsert(geom.Points{Data: insData, Dim: e.dim})
+	for _, r := range group {
+		data = append(data, r.ins.Data...)
+		ids = append(ids, r.insIDs...)
 	}
+	pool := geom.Points{Data: data, Dim: e.dim}
+	world := geom.BoundingBoxAll(pool)
+	codes := make([]uint64, pool.Len())
+	parlay.For(pool.Len(), 512, func(i int) {
+		codes[i] = morton.Encode(pool.At(i), world)
+	})
+	part := newPartition(e.dim, e.nshard, world, codes, e.opts.ShardSampleSize)
+
+	// Morton-sort the pool and cut it at the shard boundaries.
+	idx := make([]int32, len(codes))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sortedCodes := append([]uint64(nil), codes...)
+	parlay.SortPairs(sortedCodes, idx)
+	sortedPts := pool.Gather(idx)
+	sortedIDs := make([]int32, len(idx))
+	for i, j := range idx {
+		sortedIDs[i] = ids[j]
+	}
+	cut := make([]int, e.nshard+1)
+	for s := 1; s < e.nshard; s++ {
+		b := part.bounds[s-1]
+		cut[s] = sort.Search(len(sortedCodes), func(i int) bool { return sortedCodes[i] > b })
+	}
+	cut[e.nshard] = len(sortedCodes)
+	trees := make([]*bdltree.Tree, e.nshard)
+	parlay.For(e.nshard, 1, func(s int) {
+		trees[s] = bdltree.NewFromSorted(e.dim, bdltree.Options{
+			Split:      e.opts.Split,
+			BufferSize: e.opts.BufferSize,
+		}, sortedPts.Slice(cut[s], cut[s+1]), sortedIDs[cut[s]:cut[s+1]])
+	})
+
+	// Publish snapshot and partition together; the partition pointer is
+	// stored after (and under the same lock as) the S-wide snapshot, so
+	// any writer that routes per-shard sees the S-wide vector.
+	e.publishMu.Lock()
+	cur := e.snap.Load()
+	next := &Snapshot{part: part, trees: trees, epoch: cur.epoch + 1, size: pool.Len()}
+	e.snap.Store(next)
+	e.part.Store(part)
+	e.publishMu.Unlock()
+	finish(group, make([]int, len(group)), next.epoch)
+}
+
+// commitMulti commits one multi-shard group with the two-phase protocol:
+//
+//	phase 1 (parallel): under the affected shards' commit locks — taken in
+//	  ascending shard order, so multi-shard committers cannot deadlock
+//	  against each other or against single-shard committers — prepare every
+//	  affected shard's next tree version copy-on-write, fanning the
+//	  per-shard work out through the scheduler;
+//	phase 2 (serialized, tiny): swap the shard-vector pointer once, making
+//	  every shard's new version visible atomically.
+//
+// A reader therefore observes either none or all of a multi-shard batch.
+func (e *Engine) commitMulti(part *partition, group []*updateReq) {
+	nG := len(group)
+	S := part.shards()
+	insBy := make([][]geom.Points, nG) // [request][shard]
+	idsBy := make([][][]int32, nG)
+	delBy := make([][]geom.Points, nG)
+	touched := make([]bool, S)
+	for i, r := range group {
+		var aff []int
+		insBy[i], idsBy[i], aff = part.splitByShard(r.ins, r.insIDs)
+		for _, s := range aff {
+			touched[s] = true
+		}
+		delBy[i], _, aff = part.splitByShard(r.del, nil)
+		for _, s := range aff {
+			touched[s] = true
+		}
+	}
+	var affected []int
+	for s := 0; s < S; s++ {
+		if touched[s] {
+			affected = append(affected, s)
+		}
+	}
+	if len(affected) == 0 {
+		finish(group, make([]int, nG), e.snap.Load().epoch)
+		return
+	}
+
+	for _, s := range affected {
+		e.shards[s].commitMu.Lock()
+	}
+	old := e.snap.Load()
+	newTrees := make([]*bdltree.Tree, S) // nil = unchanged
+	perDelShard := make([][]int, S)
+	thunks := make([]func(), len(affected))
+	for t, s := range affected {
+		s := s
+		perDelShard[s] = make([]int, nG)
+		thunks[t] = func() {
+			tree := old.trees[s]
+			orig := tree
+			for i := range group {
+				if delBy[i][s].Len() > 0 {
+					tree, perDelShard[s][i] = tree.PersistentDelete(delBy[i][s])
+				}
+			}
+			var insData []float64
+			var insIDs []int32
+			for i := range group {
+				insData = append(insData, insBy[i][s].Data...)
+				insIDs = append(insIDs, idsBy[i][s]...)
+			}
+			if len(insIDs) > 0 {
+				tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
+			}
+			if tree != orig {
+				newTrees[s] = tree
+			}
+		}
+	}
+	parlay.Submit(thunks).Wait()
 
 	epoch := old.epoch
-	if tree != old.tree {
-		epoch++
-		e.snap.Store(&Snapshot{tree: tree, epoch: epoch})
-	}
-	for i, r := range group {
-		r.res = UpdateResult{Deleted: perDeleted[i], Epoch: epoch}
-		if lo, hi := rows[i], rows[i+1]; hi > lo {
-			r.res.IDs = ids[lo:hi:hi]
+	changed := false
+	for _, s := range affected {
+		if newTrees[s] != nil {
+			changed = true
+			break
 		}
-		close(r.done)
 	}
+	if changed {
+		epoch = e.publish(func(vec []*bdltree.Tree) {
+			for _, s := range affected {
+				if newTrees[s] != nil {
+					vec[s] = newTrees[s]
+				}
+			}
+		})
+	}
+	for i := len(affected) - 1; i >= 0; i-- {
+		e.shards[affected[i]].commitMu.Unlock()
+	}
+	perDeleted := make([]int, nG)
+	for i := range group {
+		for _, s := range affected {
+			perDeleted[i] += perDelShard[s][i]
+		}
+	}
+	finish(group, perDeleted, epoch)
+}
+
+// publish is phase two of a commit: replace the published shard vector's
+// changed slots and bump the epoch, all under one short lock, with one
+// atomic store. Callers prepared their tree versions beforehand and hold
+// the commit locks of every slot they change, so concurrent publishes
+// never clobber each other's slots.
+func (e *Engine) publish(apply func(vec []*bdltree.Tree)) uint64 {
+	e.publishMu.Lock()
+	cur := e.snap.Load()
+	vec := append([]*bdltree.Tree(nil), cur.trees...)
+	apply(vec)
+	size := 0
+	for _, t := range vec {
+		size += t.Size()
+	}
+	next := &Snapshot{part: cur.part, trees: vec, epoch: cur.epoch + 1, size: size}
+	e.snap.Store(next)
+	e.publishMu.Unlock()
+	return next.epoch
 }
 
 // --- read path ----------------------------------------------------------
@@ -316,9 +594,10 @@ func (e *Engine) submitQuery(req *queryReq) {
 }
 
 // runGroup answers one query group against a single snapshot load. k-NN
-// requests sharing a k merge into one multi-query KNN pass; every pass and
-// every range query of the group fans out through one parlay batch
-// submission.
+// requests sharing a k merge into one multi-query pass over the sharded
+// snapshot; every pass and every range query of the group fans out through
+// one parlay batch submission, and each fanned-out range query prunes and
+// fans out again over the shards it overlaps.
 func (e *Engine) runGroup(group []*queryReq) {
 	snap := e.snap.Load()
 	// Solo fast path: an uncontended query (the common case at low
@@ -327,11 +606,11 @@ func (e *Engine) runGroup(group []*queryReq) {
 		r := group[0]
 		switch r.kind {
 		case qKNN:
-			r.ids = snap.tree.KNNPooled(geom.Points{Data: r.q, Dim: e.dim}, r.k, nil, e.knnPool(r.k))[0]
+			r.ids = snap.knnPooled(geom.Points{Data: r.q, Dim: e.dim}, r.k, e.knnPool(r.k))[0]
 		case qRange:
-			r.ids = snap.tree.RangeSearch(r.box)
+			r.ids = snap.RangeSearch(r.box)
 		case qCount:
-			r.count = snap.tree.RangeCount(r.box)
+			r.count = snap.RangeCount(r.box)
 		}
 		close(r.done)
 		return
@@ -344,10 +623,10 @@ func (e *Engine) runGroup(group []*queryReq) {
 			byK[r.k] = append(byK[r.k], r)
 		case qRange:
 			r := r
-			thunks = append(thunks, func() { r.ids = snap.tree.RangeSearch(r.box) })
+			thunks = append(thunks, func() { r.ids = snap.RangeSearch(r.box) })
 		case qCount:
 			r := r
-			thunks = append(thunks, func() { r.count = snap.tree.RangeCount(r.box) })
+			thunks = append(thunks, func() { r.count = snap.RangeCount(r.box) })
 		}
 	}
 	for k, reqs := range byK {
@@ -357,7 +636,7 @@ func (e *Engine) runGroup(group []*queryReq) {
 			batch.Set(i, r.q)
 		}
 		thunks = append(thunks, func() {
-			res := snap.tree.KNNPooled(batch, k, nil, e.knnPool(k))
+			res := snap.knnPooled(batch, k, e.knnPool(k))
 			for i, r := range reqs {
 				r.ids = res[i]
 			}

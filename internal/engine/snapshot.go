@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"sort"
+
+	"pargeo/internal/bdltree"
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/parlay"
+)
+
+// Snapshot is one immutable committed version of the point set: the coupled
+// vector of per-shard BDL-tree versions published together by a commit,
+// plus the epoch at which the vector was swapped in. All methods are safe
+// for concurrent use and always answer from this version, regardless of
+// later commits. An unsharded engine (and a sharded one before its
+// partition-defining first insertion) carries a single tree and no
+// partition.
+type Snapshot struct {
+	part  *partition // nil until sharded mode is established
+	trees []*bdltree.Tree
+	epoch uint64
+	size  int
+}
+
+// Epoch returns the snapshot's commit epoch (0 for the empty initial
+// version).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Size returns the number of live points in the snapshot.
+func (s *Snapshot) Size() int { return s.size }
+
+// Shards returns the number of shards the snapshot's version vector holds
+// (1 until a sharded engine's partition is established).
+func (s *Snapshot) Shards() int { return len(s.trees) }
+
+// ShardSizes returns the live point count of every shard, in shard order (a
+// balance-inspection helper; O(S)).
+func (s *Snapshot) ShardSizes() []int {
+	out := make([]int, len(s.trees))
+	for i, tr := range s.trees {
+		out[i] = tr.Size()
+	}
+	return out
+}
+
+// KNN returns, for each query row, the global ids of its k nearest points
+// (sorted by increasing distance), data-parallel over the queries. Each
+// query walks the shards nearest-first through one shared k-NN buffer, so
+// the radius bound established by earlier shards prunes — usually skips —
+// the rest.
+func (s *Snapshot) KNN(queries geom.Points, k int) [][]int32 {
+	return s.knnPooled(queries, k, nil)
+}
+
+// knnPooled is KNN drawing per-worker buffers from pool (nil: allocate).
+func (s *Snapshot) knnPooled(queries geom.Points, k int, pool *kdtree.BufferPool) [][]int32 {
+	n := queries.Len()
+	out := make([][]int32, n)
+	parlay.ForBlocked(n, 32, func(lo, hi int) {
+		var buf *kdtree.KNNBuffer
+		if pool != nil {
+			buf = pool.Get()
+		} else {
+			buf = kdtree.NewKNNBuffer(k)
+		}
+		var order []shardDist
+		for i := lo; i < hi; i++ {
+			buf.Reset()
+			order = s.knnOne(queries.At(i), buf, order)
+			out[i] = buf.Result(nil)
+		}
+		if pool != nil {
+			pool.Put(buf)
+		}
+	})
+	return out
+}
+
+type shardDist struct {
+	s int
+	d float64
+}
+
+// knnOne accumulates the k nearest neighbors of q into buf. Shards are
+// visited in increasing order of their conservative Morton-range distance
+// bound; once the buffer is full, any shard whose bound is at or beyond the
+// current k-th distance — and, the order being sorted, every shard after it
+// — is pruned. scratch is reused across calls to avoid allocation.
+func (s *Snapshot) knnOne(q []float64, buf *kdtree.KNNBuffer, scratch []shardDist) []shardDist {
+	if s.part == nil || len(s.trees) == 1 {
+		s.trees[0].KNNInto(q, -1, buf)
+		return scratch
+	}
+	order := scratch[:0]
+	for sh := range s.trees {
+		if s.trees[sh].Size() == 0 {
+			continue
+		}
+		order = append(order, shardDist{sh, s.part.minSqDist(sh, q)})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].d < order[j].d })
+	for _, sd := range order {
+		if sd.d >= buf.Bound() { // Bound() is +inf until k candidates seen
+			break
+		}
+		s.trees[sd.s].KNNInto(q, -1, buf)
+	}
+	return order
+}
+
+// rangeShards returns the shards that can intersect box (all of them in
+// unsharded mode).
+func (s *Snapshot) rangeShards(box geom.Box) []int {
+	if s.part == nil || len(s.trees) == 1 {
+		return []int{0}
+	}
+	var out []int
+	for sh := range s.trees {
+		if s.trees[sh].Size() > 0 && s.part.overlaps(sh, box) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// RangeSearch returns the global ids of all points inside the closed box:
+// shards pruned by box-vs-Morton-range overlap, survivors searched as one
+// parallel fan-out, results concatenated in shard order.
+func (s *Snapshot) RangeSearch(box geom.Box) []int32 {
+	shards := s.rangeShards(box)
+	if len(shards) == 0 {
+		return nil
+	}
+	if len(shards) == 1 {
+		return s.trees[shards[0]].RangeSearch(box)
+	}
+	parts := make([][]int32, len(shards))
+	thunks := make([]func(), len(shards))
+	for i, sh := range shards {
+		i, sh := i, sh
+		thunks[i] = func() { parts[i] = s.trees[sh].RangeSearch(box) }
+	}
+	parlay.Submit(thunks).Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// RangeCount returns the number of points inside the closed box, with the
+// same shard pruning and fan-out as RangeSearch.
+func (s *Snapshot) RangeCount(box geom.Box) int {
+	shards := s.rangeShards(box)
+	if len(shards) == 0 {
+		return 0
+	}
+	if len(shards) == 1 {
+		return s.trees[shards[0]].RangeCount(box)
+	}
+	counts := make([]int, len(shards))
+	thunks := make([]func(), len(shards))
+	for i, sh := range shards {
+		i, sh := i, sh
+		thunks[i] = func() { counts[i] = s.trees[sh].RangeCount(box) }
+	}
+	parlay.Submit(thunks).Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Points returns the coordinates and global ids of the snapshot's live
+// points across all shards (a verification helper for differential tests;
+// O(n)).
+func (s *Snapshot) Points() (geom.Points, []int32) {
+	var dim int
+	var coords []float64
+	var gids []int32
+	for _, tr := range s.trees {
+		pts, ids := tr.Points()
+		dim = pts.Dim
+		coords = append(coords, pts.Data...)
+		gids = append(gids, ids...)
+	}
+	return geom.Points{Data: coords, Dim: dim}, gids
+}

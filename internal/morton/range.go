@@ -1,0 +1,223 @@
+package morton
+
+import (
+	"math"
+	mathbits "math/bits"
+
+	"pargeo/internal/geom"
+)
+
+// Morton-range geometry: helpers that relate an interval of Morton codes to
+// the region of space it covers. A code interval [lo, hi] is not a box — it
+// is a union of axis-aligned cells along the Z-curve — but it decomposes
+// into O(bits) *aligned* cells (code prefixes), and each aligned cell IS a
+// box. These helpers perform that decomposition and derive conservative
+// spatial predicates from it, which is what lets a Morton-sharded index
+// prune whole shards against a query box or a k-NN radius.
+//
+// Conservativeness: Encode clamps points outside the quantization box to
+// the boundary cells, and the float quantization itself can misplace a
+// point by up to one cell due to rounding. Cell boxes therefore extend to
+// ±inf where the cell touches the quantization box boundary and are padded
+// by one cell width elsewhere, so every point a shard can possibly contain
+// lies inside the shard's reported region. Pruning decisions built on these
+// boxes can only over-approximate, never drop a point.
+
+// TotalBits returns the number of significant bits in a d-dimensional
+// Morton code (dim * BitsPerDim).
+func TotalBits(dim int) int { return dim * BitsPerDim(dim) }
+
+// MaxCode returns the largest d-dimensional Morton code.
+func MaxCode(dim int) uint64 {
+	tb := TotalBits(dim)
+	if tb >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<tb - 1
+}
+
+// Cell is an aligned Morton cell: the set of codes sharing the bits of Code
+// above the Level low bits (Code's Level low bits are zero). A cell is an
+// axis-aligned box in space.
+type Cell struct {
+	Code  uint64
+	Level int // number of free low bits; 0 = a single code
+}
+
+// cellEnd returns the last code of the cell, and whether the cell is
+// representable (Level <= total bits and aligned).
+func (c Cell) cellEnd() uint64 {
+	if c.Level >= 64 {
+		return ^uint64(0)
+	}
+	return c.Code + (uint64(1)<<c.Level - 1)
+}
+
+// RangeCells decomposes the inclusive code interval [lo, hi] into maximal
+// aligned cells, in increasing code order. It returns at most
+// 2*TotalBits(dim) cells; an empty interval (lo > hi) yields none.
+func RangeCells(lo, hi uint64, dim int) []Cell {
+	tb := TotalBits(dim)
+	max := MaxCode(dim)
+	if hi > max {
+		hi = max
+	}
+	if lo > hi {
+		return nil
+	}
+	var out []Cell
+	l := lo
+	for {
+		// Largest alignment available at l, capped by the code width.
+		s := tb
+		if l != 0 {
+			if tz := mathbits.TrailingZeros64(l); tz < s {
+				s = tz
+			}
+		}
+		// Shrink until the cell fits inside [l, hi].
+		for s > 0 {
+			end := Cell{Code: l, Level: s}.cellEnd()
+			if end >= l && end <= hi {
+				break
+			}
+			s--
+		}
+		c := Cell{Code: l, Level: s}
+		out = append(out, c)
+		end := c.cellEnd()
+		if end >= hi {
+			return out
+		}
+		l = end + 1
+	}
+}
+
+// CellBox returns a conservative box containing every point that Encode
+// (with quantization box world) can map into the cell. Sides touching the
+// quantization boundary extend to ±inf (Encode clamps outside points into
+// the boundary cells); interior sides are padded by one cell width to
+// absorb float quantization rounding. A degenerate world extent in some
+// dimension makes that dimension unbounded (every coordinate quantizes to
+// cell 0 there).
+func CellBox(c Cell, dim int, world geom.Box) geom.Box {
+	bits := BitsPerDim(dim)
+	maxCell := uint64(1)<<bits - 1
+	out := geom.EmptyBox(dim)
+	for d := 0; d < dim; d++ {
+		// Coordinate bit k of dimension d lives at code bit k*dim + d.
+		// Bits below the cell's free level range over all values.
+		var minc, maxc uint64
+		for k := 0; k < bits; k++ {
+			p := k*dim + d
+			if p < c.Level {
+				maxc |= uint64(1) << k
+			} else {
+				b := (c.Code >> uint(p)) & 1
+				minc |= b << k
+				maxc |= b << k
+			}
+		}
+		ext := world.Max[d] - world.Min[d]
+		if !(ext > 0) {
+			// Degenerate extent: Encode sends every coordinate to cell 0.
+			if minc == 0 {
+				out.Min[d], out.Max[d] = math.Inf(-1), math.Inf(1)
+			} else {
+				// No point can reach a nonzero cell: empty side.
+				out.Min[d], out.Max[d] = math.Inf(1), math.Inf(-1)
+			}
+			continue
+		}
+		w := ext / float64(maxCell) // one cell width
+		if minc == 0 {
+			out.Min[d] = math.Inf(-1) // clamped underflow lands here
+		} else {
+			out.Min[d] = world.Min[d] + ext*(float64(minc)/float64(maxCell)) - w
+		}
+		if maxc == maxCell {
+			out.Max[d] = math.Inf(1) // clamped overflow lands here
+		} else {
+			out.Max[d] = world.Min[d] + ext*(float64(maxc+1)/float64(maxCell)) + w
+		}
+	}
+	return out
+}
+
+// cellEmpty reports whether the conservative cell box is empty (possible
+// only under a degenerate world extent).
+func cellEmpty(b geom.Box) bool {
+	for d := range b.Min {
+		if b.Min[d] > b.Max[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeBoxes returns the conservative boxes of the aligned cells covering
+// the inclusive code interval [lo, hi] (empty cells dropped).
+func RangeBoxes(lo, hi uint64, dim int, world geom.Box) []geom.Box {
+	cells := RangeCells(lo, hi, dim)
+	out := make([]geom.Box, 0, len(cells))
+	for _, c := range cells {
+		b := CellBox(c, dim, world)
+		if !cellEmpty(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// RangeBound returns one conservative box containing every point whose code
+// lies in the inclusive interval [lo, hi] — the union bound of RangeBoxes.
+// Looser than the cell list but O(dim) to test against.
+func RangeBound(lo, hi uint64, dim int, world geom.Box) geom.Box {
+	u := geom.EmptyBox(dim)
+	for _, b := range RangeBoxes(lo, hi, dim, world) {
+		u.Union(b)
+	}
+	return u
+}
+
+// BoxesIntersect reports whether any box of the set intersects box — the
+// overlap predicate over a cached RangeBoxes result (a shard router keeps
+// the decomposition precomputed per shard and calls this per query).
+func BoxesIntersect(boxes []geom.Box, box geom.Box) bool {
+	for _, b := range boxes {
+		if b.Intersects(box) {
+			return true
+		}
+	}
+	return false
+}
+
+// BoxesMinSqDist returns the minimum squared distance from q to the box
+// set (+inf for an empty set) — the distance bound over a cached
+// RangeBoxes result.
+func BoxesMinSqDist(boxes []geom.Box, q []float64) float64 {
+	best := math.Inf(1)
+	for _, b := range boxes {
+		if d := b.SqDistToPoint(q); d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// RangeOverlapsBox reports whether any point with a code in the inclusive
+// interval [lo, hi] can lie inside box. Conservative: false guarantees the
+// interval holds no point of the box; true may be a false positive.
+func RangeOverlapsBox(lo, hi uint64, dim int, world, box geom.Box) bool {
+	return BoxesIntersect(RangeBoxes(lo, hi, dim, world), box)
+}
+
+// RangeMinSqDist returns a lower bound on the squared distance from q to
+// any point whose code lies in the inclusive interval [lo, hi] (+inf when
+// the interval covers no representable point).
+func RangeMinSqDist(lo, hi uint64, dim int, world geom.Box, q []float64) float64 {
+	return BoxesMinSqDist(RangeBoxes(lo, hi, dim, world), q)
+}

@@ -1,0 +1,191 @@
+package morton
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/rng"
+)
+
+// TestRangeCellsCoverExactly: the aligned-cell decomposition of [lo, hi]
+// must be ordered, contiguous, aligned, and cover exactly the interval.
+func TestRangeCellsCoverExactly(t *testing.T) {
+	r := rng.NewXoshiro256(7)
+	for _, dim := range []int{1, 2, 3, 4, 5} {
+		max := MaxCode(dim)
+		tb := TotalBits(dim)
+		for trial := 0; trial < 200; trial++ {
+			a := r.Next64() & max
+			b := r.Next64() & max
+			if a > b {
+				a, b = b, a
+			}
+			cells := RangeCells(a, b, dim)
+			if len(cells) == 0 {
+				t.Fatalf("dim %d: empty decomposition of [%d, %d]", dim, a, b)
+			}
+			if len(cells) > 2*tb {
+				t.Fatalf("dim %d: %d cells for [%d, %d], want <= %d", dim, len(cells), a, b, 2*tb)
+			}
+			next := a
+			for _, c := range cells {
+				if c.Code != next {
+					t.Fatalf("dim %d: cell starts at %d, want %d", dim, c.Code, next)
+				}
+				if c.Level < 64 && c.Code&(uint64(1)<<c.Level-1) != 0 {
+					t.Fatalf("dim %d: cell %d not aligned to level %d", dim, c.Code, c.Level)
+				}
+				end := c.cellEnd()
+				if end < c.Code || end > b {
+					t.Fatalf("dim %d: cell [%d, %d] escapes [%d, %d]", dim, c.Code, end, a, b)
+				}
+				next = end + 1
+			}
+			if last := cells[len(cells)-1].cellEnd(); last != b {
+				t.Fatalf("dim %d: decomposition ends at %d, want %d", dim, last, b)
+			}
+		}
+	}
+	if got := RangeCells(5, 4, 2); got != nil {
+		t.Fatalf("empty interval decomposed to %v", got)
+	}
+}
+
+// TestRangeCellsFullSpace: the whole code space must decompose into one cell,
+// including dim=4 where the code occupies all 64 bits.
+func TestRangeCellsFullSpace(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4} {
+		cells := RangeCells(0, MaxCode(dim), dim)
+		if len(cells) != 1 || cells[0].Code != 0 || cells[0].Level != TotalBits(dim) {
+			t.Fatalf("dim %d: full-space decomposition %v", dim, cells)
+		}
+	}
+}
+
+// worldAndCodes builds a test universe: points inside (and some clamped
+// outside) a world box, with their Morton codes.
+func worldAndCodes(t *testing.T, dim int, n int, seed uint64) (geom.Points, geom.Box, []uint64) {
+	t.Helper()
+	pts := generators.UniformCube(n, dim, seed)
+	world := geom.BoundingBoxAll(pts)
+	// Displace a tail of points outside the world box so clamping is
+	// exercised: their codes land in boundary cells.
+	for i := n - n/10; i < n; i++ {
+		p := pts.At(i)
+		p[0] += 1e6
+		if i%2 == 0 {
+			p[dim-1] -= 1e6
+		}
+	}
+	codes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		codes[i] = Encode(pts.At(i), world)
+	}
+	return pts, world, codes
+}
+
+// TestRangeOverlapsBoxConservative: whenever a point with a code inside the
+// interval lies inside the query box, RangeOverlapsBox must say true (no
+// false negatives — false positives are allowed by contract).
+func TestRangeOverlapsBoxConservative(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		pts, world, codes := worldAndCodes(t, dim, 600, uint64(dim)*11+1)
+		r := rng.NewXoshiro256(uint64(dim) * 101)
+		for trial := 0; trial < 120; trial++ {
+			lo := r.Next64() & MaxCode(dim)
+			hi := r.Next64() & MaxCode(dim)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// Random query box around a random point.
+			c := pts.At(int(r.Next64() % uint64(pts.Len())))
+			box := geom.EmptyBox(dim)
+			for d := 0; d < dim; d++ {
+				w := r.Float64() * 40
+				box.Min[d] = c[d] - w
+				box.Max[d] = c[d] + w
+			}
+			any := false
+			for i := 0; i < pts.Len(); i++ {
+				if codes[i] >= lo && codes[i] <= hi && box.Contains(pts.At(i)) {
+					any = true
+					break
+				}
+			}
+			if any && !RangeOverlapsBox(lo, hi, dim, world, box) {
+				t.Fatalf("dim %d: RangeOverlapsBox false negative for [%d, %d]", dim, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRangeMinSqDistLowerBound: the reported bound must never exceed the
+// true distance to any point whose code is in the interval.
+func TestRangeMinSqDistLowerBound(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		pts, world, codes := worldAndCodes(t, dim, 600, uint64(dim)*13+2)
+		r := rng.NewXoshiro256(uint64(dim) * 211)
+		q := make([]float64, dim)
+		for trial := 0; trial < 120; trial++ {
+			lo := r.Next64() & MaxCode(dim)
+			hi := r.Next64() & MaxCode(dim)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for d := range q {
+				q[d] = r.Float64()*200 - 50
+			}
+			bound := RangeMinSqDist(lo, hi, dim, world, q)
+			for i := 0; i < pts.Len(); i++ {
+				if codes[i] < lo || codes[i] > hi {
+					continue
+				}
+				if d := geom.SqDist(q, pts.At(i)); d < bound {
+					t.Fatalf("dim %d: bound %v exceeds true distance %v", dim, bound, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeBoundContainsMembers: every point is inside the union bound of
+// any interval containing its code — including clamped outliers.
+func TestRangeBoundContainsMembers(t *testing.T) {
+	dim := 2
+	pts, world, codes := worldAndCodes(t, dim, 400, 99)
+	// Split the space at the median code, as a shard router would.
+	mid := codes[len(codes)/2]
+	low := RangeBound(0, mid, dim, world)
+	high := RangeBound(mid+1, MaxCode(dim), dim, world)
+	for i := 0; i < pts.Len(); i++ {
+		b := low
+		if codes[i] > mid {
+			b = high
+		}
+		if !b.Contains(pts.At(i)) {
+			t.Fatalf("point %d (code %d) outside its shard bound", i, codes[i])
+		}
+	}
+}
+
+// TestCellBoxDegenerateExtent: a world box flat in one dimension must yield
+// unbounded cell boxes there (every coordinate quantizes to cell 0), and
+// empty boxes for unreachable cells.
+func TestCellBoxDegenerateExtent(t *testing.T) {
+	world := geom.Box{Min: []float64{0, 5}, Max: []float64{10, 5}} // flat in y
+	cells := RangeCells(0, MaxCode(2), 2)
+	b := CellBox(cells[0], 2, world)
+	if !math.IsInf(b.Min[1], -1) || !math.IsInf(b.Max[1], 1) {
+		t.Fatalf("degenerate dimension not unbounded: %v", b)
+	}
+	// A cell requiring a nonzero y-cell is unreachable.
+	unreachable := Cell{Code: 2, Level: 0} // y bit set
+	if eb := CellBox(unreachable, 2, world); !cellEmpty(eb) {
+		t.Fatalf("unreachable cell has non-empty box: %v", eb)
+	}
+	if RangeOverlapsBox(2, 2, 2, world, geom.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}) {
+		t.Fatal("unreachable cell overlaps universe")
+	}
+}

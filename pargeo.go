@@ -127,16 +127,25 @@ func NewB2(dim int, split SplitRule) DynamicTree { return bdltree.NewB2(dim, spl
 
 // --- concurrent query engine (serving path) --------------------------------
 
-// Engine is a concurrent spatial query service over the BDL-tree: any
-// number of goroutines may issue KNN / RangeSearch / RangeCount queries and
-// batched updates concurrently. Queries always observe a fully committed
-// snapshot (epoch/pointer-swap protocol), concurrent small updates coalesce
-// into BDL-tree batches, and bursts of concurrent queries are grouped into
-// single data-parallel passes. See internal/engine for the protocol.
+// Engine is a concurrent spatial query service over Morton-sharded
+// BDL-trees: any number of goroutines may issue KNN / RangeSearch /
+// RangeCount queries and batched updates concurrently. Queries always
+// observe a fully committed snapshot (epoch/pointer-swap protocol),
+// concurrent small updates coalesce per shard — disjoint-shard batches
+// commit truly in parallel, multi-shard batches publish all-or-nothing via
+// a two-phase swap — and bursts of concurrent queries are grouped into
+// single data-parallel passes that fan out over the shards. See
+// internal/engine for the protocol.
 type Engine = engine.Engine
 
-// EngineOptions configure an Engine.
+// EngineOptions configure an Engine. Set Shards (e.g. to AutoShards) to
+// partition space into independent Morton-range shards whose updates
+// commit in parallel; zero runs unsharded.
 type EngineOptions = engine.Options
+
+// AutoShards, as EngineOptions.Shards, selects one shard per GOMAXPROCS
+// worker at engine creation.
+const AutoShards = engine.AutoShards
 
 // EngineSnapshot is an immutable committed version of an Engine's point
 // set; query it directly for multi-query consistency.
