@@ -75,6 +75,8 @@ func runCompare(args []string) int {
 	}
 	var pairs []pair
 	unmatched := 0
+	broken := 0
+	seen := make(map[key]bool)
 	for _, r := range newDoc.Results {
 		k := key{r.Experiment, r.Name, r.N, r.Dim}
 		o, ok := oldBy[k]
@@ -82,14 +84,43 @@ func runCompare(args []string) int {
 			unmatched++
 			continue
 		}
+		seen[k] = true
 		ov, nv := throughput(o), throughput(r)
-		if ov <= 0 || nv <= 0 {
+		// A matched record with no usable throughput on either side is a
+		// broken measurement, not a skippable one: zero ops in the window
+		// (or a zeroed field) would otherwise let a real collapse — or a
+		// corrupt baseline — pass the gate vacuously.
+		if ov <= 0 {
+			fmt.Fprintf(os.Stderr, "compare: baseline record %s/%s has no throughput — regenerate the baseline\n", k.exp, k.name)
+			broken++
+			continue
+		}
+		if nv <= 0 {
+			fmt.Fprintf(os.Stderr, "compare: new record %s/%s reports zero throughput\n", k.exp, k.name)
+			broken++
 			continue
 		}
 		pairs = append(pairs, pair{k, ov, nv, nv / ov})
 	}
 	if unmatched > 0 {
 		fmt.Printf("compare: %d new records have no baseline counterpart (skipped)\n", unmatched)
+	}
+	// Every baseline record must be covered by the new run: a baseline key
+	// with no counterpart means that benchmark silently stopped running
+	// (renamed, dropped, or the run was truncated) and its regression gate
+	// just went vacuous.
+	missing := 0
+	for _, o := range oldDoc.Results {
+		k := key{o.Experiment, o.Name, o.N, o.Dim}
+		if !seen[k] {
+			fmt.Fprintf(os.Stderr, "compare: baseline record %s/%s (n=%d dim=%d) missing from the new run\n",
+				k.exp, k.name, k.n, k.dim)
+			missing++
+		}
+	}
+	if broken > 0 || missing > 0 {
+		fmt.Fprintf(os.Stderr, "compare: %d broken and %d missing records — failing before the ratio gate\n", broken, missing)
+		return 1
 	}
 	if len(pairs) == 0 {
 		fmt.Fprintln(os.Stderr, "compare: no comparable records — the gate would be vacuous; failing")

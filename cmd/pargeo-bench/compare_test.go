@@ -63,6 +63,41 @@ func TestCompareVacuousGateFails(t *testing.T) {
 	}
 }
 
+// TestCompareMissingBaselineKeyFails: a baseline record with no counterpart
+// in the new run means that benchmark silently stopped running — the gate
+// must fail instead of passing on the records that remain.
+func TestCompareMissingBaselineKeyFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchRecord{rec("a", 100), rec("b", 200)})
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{rec("a", 100)})
+	if got := runCompare([]string{old, fresh}); got != 1 {
+		t.Fatalf("missing baseline key passed: exit %d", got)
+	}
+	// The reverse direction — new records the baseline lacks — stays legal:
+	// freshly added benchmarks must not fail until the baseline is updated.
+	fresh2 := writeDoc(t, dir, "new2.json", []BenchRecord{rec("a", 100), rec("b", 200), rec("c", 50)})
+	if got := runCompare([]string{old, fresh2}); got != 0 {
+		t.Fatalf("new-only record flagged: exit %d", got)
+	}
+}
+
+// TestCompareZeroThroughputFails: a matched record reporting zero
+// throughput — in the new run or in the baseline — is a broken
+// measurement and must fail loudly, not be skipped.
+func TestCompareZeroThroughputFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchRecord{rec("a", 100), rec("b", 200)})
+	fresh := writeDoc(t, dir, "new.json", []BenchRecord{rec("a", 100), rec("b", 0)})
+	if got := runCompare([]string{old, fresh}); got != 1 {
+		t.Fatalf("zero-throughput new record passed: exit %d", got)
+	}
+	badOld := writeDoc(t, dir, "badold.json", []BenchRecord{rec("a", 100), rec("b", 0)})
+	fresh2 := writeDoc(t, dir, "new2.json", []BenchRecord{rec("a", 100), rec("b", 200)})
+	if got := runCompare([]string{badOld, fresh2}); got != 1 {
+		t.Fatalf("zero-throughput baseline record passed: exit %d", got)
+	}
+}
+
 // TestCompareNsPerOpFallback: latency-only records compare via 1e9/ns_per_op.
 func TestCompareNsPerOpFallback(t *testing.T) {
 	dir := t.TempDir()

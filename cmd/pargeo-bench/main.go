@@ -56,6 +56,7 @@ var (
 	flagJSON       = flag.String("json", "", "write machine-readable results to this path")
 	flagShards     = flag.String("shards", "1,2,4", "comma-separated engine shard counts for the engine experiment sweep")
 	flagMeasure    = flag.Duration("measure", 1500*time.Millisecond, "measurement window per engine-experiment configuration")
+	flagRebalance  = flag.String("rebalance", "off,on", "comma-separated rebalancer modes (off,on) for the engine experiment's drifting hot-spot sweep")
 )
 
 func main() {
@@ -87,7 +88,10 @@ func main() {
 	run("hullstats", func() { hullStats(*flagN, *flagSeed) })
 	run("sebstats", func() { sebStats(*flagN, *flagSeed) })
 	run("zdcompare", func() { zdCompare(*flagN, *flagSeed) })
-	run("engine", func() { engineBench(*flagN, *flagSeed, parseThreads(*flagShards), *flagMeasure) })
+	run("engine", func() {
+		engineBench(*flagN, *flagSeed, parseThreads(*flagShards), *flagMeasure)
+		engineDriftBench(*flagN, *flagSeed, parseRebalance(*flagRebalance))
+	})
 	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
 	if !matched {
 		// A typo must not silently run nothing (and, with -json, clobber a
@@ -120,6 +124,23 @@ func parseThreads(s string) []int {
 			os.Exit(2)
 		}
 		out = append(out, v)
+	}
+	return out
+}
+
+// parseRebalance parses the -rebalance sweep list ("off,on") into bools.
+func parseRebalance(s string) []bool {
+	var out []bool
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "off":
+			out = append(out, false)
+		case "on":
+			out = append(out, true)
+		default:
+			fmt.Fprintf(os.Stderr, "bad rebalance mode %q (want off or on)\n", part)
+			os.Exit(2)
+		}
 	}
 	return out
 }

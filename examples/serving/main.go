@@ -30,12 +30,18 @@ func main() {
 		rounds   = 10    // update batches per mover
 	)
 
-	e := pargeo.NewEngine(dim, pargeo.EngineOptions{Shards: movers})
+	// Rebalance keeps the shard partition tracking the fleet: when the
+	// expansion mover (below) relocates couriers beyond the founding city
+	// limits, the rebalancer rebuilds the partition under a widened world
+	// instead of letting the new district alias into a boundary shard.
+	e := pargeo.NewEngine(dim, pargeo.EngineOptions{Shards: movers, Rebalance: true})
+	defer e.Close()
 
 	// Seed the fleet uniformly over the city. This founding insertion also
-	// fixes the shard boundaries: Morton quantiles of a uniform city are
-	// close to its quadrants, so each mover's district below lives mostly
-	// in its own shard and the movers' commit streams rarely contend.
+	// fixes the initial shard boundaries: Morton quantiles of a uniform
+	// city are close to its quadrants, so each mover's district below
+	// lives mostly in its own shard and the movers' commit streams rarely
+	// contend.
 	fleet := pargeo.Uniform(couriers, dim, 1)
 	res := e.Insert(fleet)
 	city := pargeo.BoundingBox(fleet)
@@ -97,6 +103,38 @@ func main() {
 		}()
 	}
 
+	// The expansion mover: the city grows. One block of couriers is
+	// progressively relocated into a brand-new district east of the
+	// founding city limits — outside the world box the partition was
+	// founded on. Without rebalancing every one of these updates would
+	// clamp into a boundary Morton cell and pile onto one edge shard; the
+	// background rebalancer instead repartitions under a widened world the
+	// moment the drift counter trips, and the new district gets shard
+	// capacity of its own. The block comes home with the final commit, so
+	// the fleet ends where it started.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		width := city.Max[0] - city.Min[0]
+		home := fleet.Slice(movers*moveB, (movers+1)*moveB)
+		cur := home
+		for r := 0; r < rounds; r++ {
+			moved := pargeo.Uniform(moveB, dim, uint64(1000+r))
+			mb := pargeo.BoundingBox(moved)
+			for i := 0; i < moved.Len(); i++ {
+				p := moved.At(i)
+				// East of the city: x beyond the founding maximum.
+				p[0] = city.Max[0] + width/4 + (p[0]-mb.Min[0])/(mb.Max[0]-mb.Min[0])*width/2
+				p[1] = city.Min[1] + (p[1]-mb.Min[1])/(mb.Max[1]-mb.Min[1])*(city.Max[1]-city.Min[1])
+			}
+			e.Update(moved, cur)
+			cur = moved
+			updates.Add(1)
+		}
+		e.Update(home, cur)
+		updates.Add(1)
+	}()
+
 	for c := 0; c < clients; c++ {
 		c := c
 		wg.Add(1)
@@ -126,7 +164,7 @@ func main() {
 
 	// Movers run a fixed workload; clients stream until the fleet settles.
 	go func() {
-		for updates.Load() < int64(movers*(rounds+1)) {
+		for updates.Load() < int64((movers+1)*(rounds+1)) {
 			time.Sleep(time.Millisecond)
 		}
 		stop.Store(true)
@@ -140,6 +178,7 @@ func main() {
 	everything := pargeo.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}
 	fmt.Printf("final epoch %d, fleet size %d (snapshot count %d), shard sizes %v\n",
 		snap.Epoch(), snap.Size(), snap.RangeCount(everything), snap.ShardSizes())
+	fmt.Printf("partition migrations while serving (city expansion): %d\n", e.Rebalances())
 	fmt.Printf("%d queries and %d update batches in %v (%.0f queries/s)\n",
 		queries.Load(), updates.Load(), elapsed.Round(time.Millisecond),
 		float64(queries.Load())/elapsed.Seconds())

@@ -7,16 +7,72 @@
 // # Sharding
 //
 // Space is partitioned into S contiguous Morton-code ranges (S ≈
-// GOMAXPROCS via AutoShards, or Options.Shards). The boundaries are chosen
-// once, by sampling the Morton codes of the first committed insertion (the
-// "founding commit") and placing them at sample quantiles; the partition
-// is immutable thereafter — rebalance-free — so routing and pruning read
-// it without synchronization. Each shard owns one BDL-tree plus its
-// persistent (copy-on-write) version chain and its own flat-combining
-// committer. A spatial workload partitions naturally along the Morton
-// curve: most small update batches are spatially local, fall entirely into
-// one shard, and therefore commit without ever contending with the other
-// shards' write streams.
+// GOMAXPROCS via AutoShards, or Options.Shards). The boundaries are first
+// chosen by sampling the Morton codes of the first committed insertion
+// (the "founding commit") and placing them at sample quantiles. Each shard
+// owns one BDL-tree plus its persistent (copy-on-write) version chain and
+// its own flat-combining committer. A spatial workload partitions
+// naturally along the Morton curve: most small update batches are
+// spatially local, fall entirely into one shard, and therefore commit
+// without ever contending with the other shards' write streams.
+//
+// A partition VALUE is immutable — routing and pruning read whichever
+// partition pointer they loaded without synchronization — but the
+// engine's current partition is not frozen at the founding commit: with
+// Options.Rebalance set, a background rebalancer replaces it online as
+// the load moves (see "Online repartitioning" below). Writers that routed
+// a batch under a partition that has since been replaced detect the swap
+// under their shard commit locks and re-route; in-flight queries are
+// untouched, because a snapshot carries the exact partition its tree
+// vector was built under.
+//
+// # Online repartitioning
+//
+// The founding partition is a guess frozen at the first insertion; a
+// workload that drifts or concentrates afterward would pile every write
+// onto one shard's committer, and any point outside the founding world
+// box is clamped by the Morton encoding into a boundary cell — a workload
+// that outgrows the founding extent would route all of its inserts into
+// the edge shards. The rebalancer (Options.Rebalance, or synchronous
+// Engine.Rebalance calls) tracks per-shard load — live tree size plus an
+// EWMA of committed update rows, with a small reservoir of recently
+// committed row coordinates per shard — and migrates the partition in two
+// granularities:
+//
+//   - split/merge: a hot shard's range is cut at the weighted median code
+//     of its recent writes (falling back to its live-point median) and the
+//     two coldest adjacent shards are fused, keeping S constant so the
+//     per-shard lock/combiner vector never changes shape. Only the three
+//     affected trees are rebuilt (bdltree.ExtractRange + NewFromSorted for
+//     the halves, bdltree.Merge for the fused pair); the rest of the shard
+//     vector is reused. Two triggers fire it: a shard dominating by
+//     combined score (size imbalance) or one absorbing a disproportionate
+//     share of recent write rows (a hot spot confined to a sliver of a
+//     shard). A split is vetoed when the recent-write sample shows update
+//     requests would straddle the cut — that would turn the stream's
+//     single-shard commits into multi-shard ones instead of dividing it —
+//     and a size-triggered split vetoed this way escalates to a full
+//     repartition instead.
+//   - full repartition: when enough inserted rows have routed outside the
+//     world box (the drift counter), every boundary is re-placed at fresh
+//     quantiles under a widened world — the live bounding box plus margin
+//     — so clamped codes stop aliasing into boundary cells and successive
+//     repartitions of a steady drift are geometrically spaced.
+//
+// Migration safety: a migration takes EVERY shard commit lock in
+// ascending order — the same protocol multi-shard committers use, so it
+// cannot deadlock against them — freezing the write path while the
+// affected trees are rebuilt from their sorted live points. The new
+// partition and its matching tree vector are then published in ONE
+// snapshot pointer swap under the publish lock. Queries only ever read a
+// snapshot's coupled (partition, tree-vector) pair, so they observe a
+// migration atomically and keep seeing every committed batch
+// all-or-nothing. A committer that routed its group under the old
+// partition discovers the swap under its shard lock (commitShard compares
+// each request's routing partition against the current one; commitMulti
+// re-validates after acquiring its ascending lock set) and re-routes the
+// whole group under the new partition — no update is lost or applied
+// twice across a migration.
 //
 // # Snapshot protocol and two-phase publish
 //

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pargeo/internal/bdltree"
 	"pargeo/internal/geom"
@@ -31,11 +32,36 @@ type Options struct {
 	// Shards is the number of Morton-range shards S: independent BDL-trees
 	// whose disjoint updates commit in parallel. 0 or 1 runs unsharded
 	// (one tree, one committer); AutoShards picks GOMAXPROCS. Boundaries
-	// are sampled from the first committed insertion and never rebalanced.
+	// are sampled from the first committed insertion; with Rebalance set
+	// they then track the live load online.
 	Shards int
 	// ShardSampleSize caps the boundary-placement sample (0 = default).
 	ShardSampleSize int
+	// Rebalance starts the background rebalancer on a sharded engine: a
+	// goroutine that watches per-shard load (live size + committed-batch
+	// EWMA + a recent-write sample), splits a hot shard's Morton range at
+	// the weighted median code of its recent writes (merging the two
+	// coldest adjacent shards to keep S constant), and — when enough
+	// inserted rows land outside the partition's world box — rebuilds the
+	// whole partition under a widened world so drifting workloads stop
+	// aliasing into boundary cells. Call Close to stop it.
+	// Engine.Rebalance runs one pass synchronously whether or not the
+	// background loop is enabled.
+	Rebalance bool
+	// RebalanceInterval is the background rebalancer's pass period
+	// (0 = DefaultRebalanceInterval).
+	RebalanceInterval time.Duration
+	// RebalanceFactor is the hot-shard threshold: a shard is split when its
+	// load exceeds RebalanceFactor times the shard average
+	// (0 = DefaultRebalanceFactor).
+	RebalanceFactor float64
 }
+
+// Rebalancer defaults (Options.RebalanceInterval / RebalanceFactor).
+const (
+	DefaultRebalanceInterval = 25 * time.Millisecond
+	DefaultRebalanceFactor   = 2.0
+)
 
 // UpdateResult reports a committed update.
 type UpdateResult struct {
@@ -55,6 +81,7 @@ type updateReq struct {
 	ins    geom.Points
 	insIDs []int32 // global ids reserved for ins rows, in batch order
 	del    geom.Points
+	part   *partition // partition the request was routed under (nil pre-founding)
 	res    UpdateResult
 	done   chan struct{}
 	lead   chan struct{} // baton: receiver becomes the next committer
@@ -71,11 +98,122 @@ type combiner struct {
 
 // shard is one Morton-range shard's write machinery. comb coalesces the
 // shard's single-shard updates; commitMu serializes version preparation
-// for this shard between its own committer and multi-shard committers.
+// for this shard between its own committer, multi-shard committers, and
+// the rebalancer (which takes every shard's lock). load is the shard's
+// committed-batch EWMA — recent update rows per commit — read atomically
+// by the rebalancer's hot-shard scoring and rewritten by it when a
+// migration remaps shard ranges. recent is a ring of recently committed
+// row coordinates (written under commitMu, read by the rebalancer under
+// every commitMu): the write-load sample whose median Morton code places
+// a split boundary where the writes are, not where the points are.
 type shard struct {
-	comb     combiner
-	commitMu sync.Mutex
+	comb      combiner
+	commitMu  sync.Mutex
+	load      atomic.Uint64 // float64 bits of the committed-rows EWMA
+	recent    []float64     // dim-strided ring of sampled committed rows
+	recentReq []int32       // per-row tag: which update request the row came from
+	reqSeq    int32         // request tag generator
+	recentW   int           // ring write cursor, in rows
 }
+
+// loadAlpha is the committed-batch EWMA smoothing factor: each commit of r
+// rows moves the shard's load a quarter of the way toward r.
+const loadAlpha = 0.25
+
+// Recent-write reservoir geometry: ring capacity and rows sampled per
+// update request.
+const (
+	recentRows      = 256
+	samplePerCommit = 8
+)
+
+// sampleRows records a spread sample of one update request's committed
+// coordinates in the shard's recent-write ring, tagging every sampled row
+// with the request it came from — the tags let the rebalancer judge
+// whether a candidate split boundary would divide the write STREAM
+// (requests fall wholly on one side: good, parallel streams) or merely cut
+// through every request (bad: each update would turn multi-shard). Caller
+// holds the shard's commit lock.
+func (sh *shard) sampleRows(batch geom.Points, dim int) {
+	n := batch.Len()
+	if n == 0 {
+		return
+	}
+	if sh.recent == nil {
+		sh.recent = make([]float64, recentRows*dim)
+		sh.recentReq = make([]int32, recentRows)
+	}
+	tag := sh.reqSeq
+	sh.reqSeq++
+	step := n / samplePerCommit
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < n; i += step {
+		slot := sh.recentW % recentRows
+		copy(sh.recent[slot*dim:(slot+1)*dim], batch.At(i))
+		sh.recentReq[slot] = tag
+		sh.recentW++
+	}
+}
+
+// recentCount returns how many sampled rows the ring currently holds.
+func (sh *shard) recentCount() int {
+	if sh.recentW < recentRows {
+		return sh.recentW
+	}
+	return recentRows
+}
+
+// sampleGroup records a committed group's write sample: every request's
+// insert batch, falling back to the first non-empty delete batch when the
+// group inserted nothing. ins/del return request i's batch as routed to
+// this shard. Caller holds the shard's commit lock.
+func (sh *shard) sampleGroup(n, dim int, ins, del func(i int) geom.Points) {
+	sampled := false
+	for i := 0; i < n; i++ {
+		if b := ins(i); b.Len() > 0 {
+			sh.sampleRows(b, dim)
+			sampled = true
+		}
+	}
+	if sampled {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if b := del(i); b.Len() > 0 {
+			sh.sampleRows(b, dim)
+			return
+		}
+	}
+}
+
+// noteCommit folds a committed group's row count into the shard's EWMA.
+// CAS loop: commits update under the shard's commit lock, but the
+// rebalancer decays loads without holding it.
+func (sh *shard) noteCommit(rows int) {
+	for {
+		old := sh.load.Load()
+		next := math.Float64bits(math.Float64frombits(old)*(1-loadAlpha) + float64(rows)*loadAlpha)
+		if sh.load.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// scaleLoad multiplies the shard's EWMA by f (rebalancer decay / remap).
+func (sh *shard) scaleLoad(f float64) {
+	for {
+		old := sh.load.Load()
+		next := math.Float64bits(math.Float64frombits(old) * f)
+		if sh.load.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// loadEWMA returns the shard's committed-batch EWMA.
+func (sh *shard) loadEWMA() float64 { return math.Float64frombits(sh.load.Load()) }
 
 const (
 	qKNN = iota
@@ -104,8 +242,19 @@ type Engine struct {
 	nshard int
 
 	snap   atomic.Pointer[Snapshot]
-	part   atomic.Pointer[partition] // set once, by the founding commit
+	part   atomic.Pointer[partition] // set by the founding commit, replaced by migrations
 	nextID atomic.Int64              // engine-global id block reservation
+
+	// Rebalancer bookkeeping: inserted rows committed outside the current
+	// partition's world box since the last repartition (the drift signal),
+	// completed migrations, backoff state for triggered-but-unactionable
+	// passes, and the background loop's stop channel.
+	outOfWorld atomic.Int64
+	rebalanced atomic.Uint64
+	noopStreak atomic.Int32
+	skipPasses atomic.Int32
+	stop       chan struct{}
+	closeOnce  sync.Once
 
 	// publishMu guards the snapshot swap (phase two of every commit): an
 	// O(S) vector copy plus one atomic store, so the serialized section of
@@ -148,13 +297,34 @@ func New(dim int, opts Options) *Engine {
 	if opts.ShardSampleSize <= 0 {
 		opts.ShardSampleSize = DefaultShardSampleSize
 	}
+	if opts.RebalanceInterval <= 0 {
+		opts.RebalanceInterval = DefaultRebalanceInterval
+	}
+	if opts.RebalanceFactor <= 0 {
+		opts.RebalanceFactor = DefaultRebalanceFactor
+	}
 	e := &Engine{dim: dim, opts: opts, nshard: ns}
 	e.shards = make([]*shard, ns)
 	for i := range e.shards {
 		e.shards[i] = &shard{}
 	}
 	e.snap.Store(&Snapshot{trees: []*bdltree.Tree{e.newTree()}})
+	if opts.Rebalance && ns > 1 {
+		e.stop = make(chan struct{})
+		go e.rebalanceLoop()
+	}
 	return e
+}
+
+// Close stops the background rebalancer, if one was started. The engine
+// keeps serving queries and updates after Close; only the automatic
+// repartitioning stops. Safe to call multiple times.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.stop != nil {
+			close(e.stop)
+		}
+	})
 }
 
 func (e *Engine) newTree() *bdltree.Tree {
@@ -207,6 +377,7 @@ func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 		}
 	}
 	part := e.part.Load()
+	req.part = part
 	if part != nil {
 		if s, single := singleShard(part, insert, del); single {
 			e.submitUpdate(&e.shards[s].comb, req, func(group []*updateReq) {
@@ -283,6 +454,28 @@ func (e *Engine) submitUpdate(c *combiner, req *updateReq, commit func([]*update
 	c.mu.Unlock()
 }
 
+// noteDrift counts a group's inserted rows that fall outside part's world
+// box — the rebalancer's repartition signal. Called with part pinned by a
+// held shard commit lock, so the count can never race a concurrent
+// repartition's counter reset (which runs under every shard lock): rows
+// counted here are genuinely out of the CURRENT world.
+func (e *Engine) noteDrift(part *partition, group []*updateReq) {
+	if part == nil {
+		return
+	}
+	out := 0
+	for _, r := range group {
+		for i, n := 0, r.ins.Len(); i < n; i++ {
+			if !part.world.Contains(r.ins.At(i)) {
+				out++
+			}
+		}
+	}
+	if out > 0 {
+		e.outOfWorld.Add(int64(out))
+	}
+}
+
 // finish publishes each request's result and releases its waiter.
 func finish(group []*updateReq, perDeleted []int, epoch uint64) {
 	for i, r := range group {
@@ -296,30 +489,58 @@ func finish(group []*updateReq, perDeleted []int, epoch uint64) {
 // (other shards keep committing concurrently), phase two swaps the shard
 // vector. Deletions apply per request in arrival order so each result
 // reports its own removal count; insertions combine into one batch.
+//
+// A group member may have routed itself to shard s under a partition that a
+// migration has since replaced — its rows might now belong to different
+// shards (or to a different index of the same range). Holding the shard
+// lock pins the current partition (the rebalancer swaps only while holding
+// EVERY shard lock), so comparing each request's routing partition against
+// the current one under the lock is a race-free staleness test; a stale
+// group falls back to the multi-shard path, which re-routes every row under
+// the current partition.
 func (e *Engine) commitShard(s int, group []*updateReq) {
 	sh := e.shards[s]
 	sh.commitMu.Lock()
+	cur := e.part.Load()
+	for _, r := range group {
+		if r.part != cur {
+			sh.commitMu.Unlock()
+			e.commitMulti(cur, group)
+			return
+		}
+	}
+	e.noteDrift(cur, group)
 	old := e.snap.Load()
 	tree := old.trees[s]
-	orig := tree
 	perDeleted := make([]int, len(group))
+	deleted := 0
 	for i, r := range group {
 		if r.del.Len() > 0 {
 			tree, perDeleted[i] = tree.PersistentDelete(r.del)
+			deleted += perDeleted[i]
 		}
 	}
 	var insData []float64
 	var insIDs []int32
+	rows := 0
 	for _, r := range group {
 		insData = append(insData, r.ins.Data...)
 		insIDs = append(insIDs, r.insIDs...)
+		rows += r.ins.Len() + r.del.Len()
 	}
 	if len(insIDs) > 0 {
 		tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
 	}
 	epoch := old.epoch
-	if tree != orig {
+	// Publish only when the live set actually changed: a deletion batch that
+	// matched nothing (e.g. deletes against a still-empty engine) keeps the
+	// current epoch and tree version instead of publishing a no-op clone.
+	if len(insIDs) > 0 || deleted > 0 {
 		epoch = e.publish(func(vec []*bdltree.Tree) { vec[s] = tree })
+		sh.noteCommit(rows)
+		sh.sampleGroup(len(group), e.dim,
+			func(i int) geom.Points { return group[i].ins },
+			func(i int) geom.Points { return group[i].del })
 	}
 	sh.commitMu.Unlock()
 	finish(group, perDeleted, epoch)
@@ -363,14 +584,31 @@ func (e *Engine) commitFounding(group []*updateReq) {
 		ids = append(ids, r.insIDs...)
 	}
 	pool := geom.Points{Data: data, Dim: e.dim}
-	world := geom.BoundingBoxAll(pool)
+	part, trees := e.shardedBuild(geom.BoundingBoxAll(pool), pool, ids)
+
+	// Publish snapshot and partition together; the partition pointer is
+	// stored after (and under the same lock as) the S-wide snapshot, so
+	// any writer that routes per-shard sees the S-wide vector.
+	e.publishMu.Lock()
+	cur := e.snap.Load()
+	next := &Snapshot{part: part, trees: trees, epoch: cur.epoch + 1, size: pool.Len()}
+	e.snap.Store(next)
+	e.part.Store(part)
+	e.publishMu.Unlock()
+	finish(group, make([]int, len(group)), next.epoch)
+}
+
+// shardedBuild is the shared bulk-construction step of the founding commit
+// and of a full repartition: place S-1 boundaries at sampled quantiles of
+// the pool's Morton codes under world, sort the pool into Morton order, cut
+// it at the boundaries, and build every shard tree in parallel.
+func (e *Engine) shardedBuild(world geom.Box, pool geom.Points, ids []int32) (*partition, []*bdltree.Tree) {
 	codes := make([]uint64, pool.Len())
 	parlay.For(pool.Len(), 512, func(i int) {
 		codes[i] = morton.Encode(pool.At(i), world)
 	})
 	part := newPartition(e.dim, e.nshard, world, codes, e.opts.ShardSampleSize)
 
-	// Morton-sort the pool and cut it at the shard boundaries.
 	idx := make([]int32, len(codes))
 	for i := range idx {
 		idx[i] = int32(i)
@@ -395,120 +633,146 @@ func (e *Engine) commitFounding(group []*updateReq) {
 			BufferSize: e.opts.BufferSize,
 		}, sortedPts.Slice(cut[s], cut[s+1]), sortedIDs[cut[s]:cut[s+1]])
 	})
-
-	// Publish snapshot and partition together; the partition pointer is
-	// stored after (and under the same lock as) the S-wide snapshot, so
-	// any writer that routes per-shard sees the S-wide vector.
-	e.publishMu.Lock()
-	cur := e.snap.Load()
-	next := &Snapshot{part: part, trees: trees, epoch: cur.epoch + 1, size: pool.Len()}
-	e.snap.Store(next)
-	e.part.Store(part)
-	e.publishMu.Unlock()
-	finish(group, make([]int, len(group)), next.epoch)
+	return part, trees
 }
 
 // commitMulti commits one multi-shard group with the two-phase protocol:
 //
 //	phase 1 (parallel): under the affected shards' commit locks — taken in
 //	  ascending shard order, so multi-shard committers cannot deadlock
-//	  against each other or against single-shard committers — prepare every
+//	  against each other, against single-shard committers, or against the
+//	  rebalancer (which takes every lock, also ascending) — prepare every
 //	  affected shard's next tree version copy-on-write, fanning the
 //	  per-shard work out through the scheduler;
 //	phase 2 (serialized, tiny): swap the shard-vector pointer once, making
 //	  every shard's new version visible atomically.
 //
 // A reader therefore observes either none or all of a multi-shard batch.
+//
+// The routing produced from part is only valid while part is current. Once
+// the affected locks are held, the check `e.part.Load() == part` decides:
+// the rebalancer needs every shard lock to swap partitions, so if the
+// pointer still matches under at least one held lock, no swap can complete
+// before the locks are released. A mismatch means a migration won the race;
+// the routing is discarded and recomputed under the new partition.
 func (e *Engine) commitMulti(part *partition, group []*updateReq) {
 	nG := len(group)
-	S := part.shards()
-	insBy := make([][]geom.Points, nG) // [request][shard]
-	idsBy := make([][][]int32, nG)
-	delBy := make([][]geom.Points, nG)
-	touched := make([]bool, S)
-	for i, r := range group {
-		var aff []int
-		insBy[i], idsBy[i], aff = part.splitByShard(r.ins, r.insIDs)
-		for _, s := range aff {
-			touched[s] = true
+retry:
+	for {
+		S := part.shards()
+		insBy := make([][]geom.Points, nG) // [request][shard]
+		idsBy := make([][][]int32, nG)
+		delBy := make([][]geom.Points, nG)
+		touched := make([]bool, S)
+		for i, r := range group {
+			var aff []int
+			insBy[i], idsBy[i], aff = part.splitByShard(r.ins, r.insIDs)
+			for _, s := range aff {
+				touched[s] = true
+			}
+			delBy[i], _, aff = part.splitByShard(r.del, nil)
+			for _, s := range aff {
+				touched[s] = true
+			}
 		}
-		delBy[i], _, aff = part.splitByShard(r.del, nil)
-		for _, s := range aff {
-			touched[s] = true
+		var affected []int
+		for s := 0; s < S; s++ {
+			if touched[s] {
+				affected = append(affected, s)
+			}
 		}
-	}
-	var affected []int
-	for s := 0; s < S; s++ {
-		if touched[s] {
-			affected = append(affected, s)
+		if len(affected) == 0 {
+			finish(group, make([]int, nG), e.snap.Load().epoch)
+			return
 		}
-	}
-	if len(affected) == 0 {
-		finish(group, make([]int, nG), e.snap.Load().epoch)
-		return
-	}
 
-	for _, s := range affected {
-		e.shards[s].commitMu.Lock()
-	}
-	old := e.snap.Load()
-	newTrees := make([]*bdltree.Tree, S) // nil = unchanged
-	perDelShard := make([][]int, S)
-	thunks := make([]func(), len(affected))
-	for t, s := range affected {
-		s := s
-		perDelShard[s] = make([]int, nG)
-		thunks[t] = func() {
-			tree := old.trees[s]
-			orig := tree
-			for i := range group {
-				if delBy[i][s].Len() > 0 {
-					tree, perDelShard[s][i] = tree.PersistentDelete(delBy[i][s])
+		for _, s := range affected {
+			e.shards[s].commitMu.Lock()
+		}
+		if cur := e.part.Load(); cur != part {
+			// Raced a migration swap between routing and lock acquisition:
+			// re-route the whole group under the new partition.
+			for i := len(affected) - 1; i >= 0; i-- {
+				e.shards[affected[i]].commitMu.Unlock()
+			}
+			part = cur
+			continue retry
+		}
+		e.noteDrift(part, group)
+		old := e.snap.Load()
+		newTrees := make([]*bdltree.Tree, S) // nil = unchanged
+		perDelShard := make([][]int, S)
+		rowsShard := make([]int, S)
+		thunks := make([]func(), len(affected))
+		for t, s := range affected {
+			s := s
+			perDelShard[s] = make([]int, nG)
+			thunks[t] = func() {
+				tree := old.trees[s]
+				deleted := 0
+				for i := range group {
+					if delBy[i][s].Len() > 0 {
+						tree, perDelShard[s][i] = tree.PersistentDelete(delBy[i][s])
+						deleted += perDelShard[s][i]
+					}
+					rowsShard[s] += insBy[i][s].Len() + delBy[i][s].Len()
+				}
+				var insData []float64
+				var insIDs []int32
+				for i := range group {
+					insData = append(insData, insBy[i][s].Data...)
+					insIDs = append(insIDs, idsBy[i][s]...)
+				}
+				if len(insIDs) > 0 {
+					tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
+				}
+				if len(insIDs) > 0 || deleted > 0 {
+					newTrees[s] = tree
+					// One thunk per shard and the caller holds the shard's
+					// commit lock until after Wait, so the ring write is
+					// exclusive and ordered before the lock release.
+					e.shards[s].sampleGroup(nG, e.dim,
+						func(i int) geom.Points { return insBy[i][s] },
+						func(i int) geom.Points { return delBy[i][s] })
 				}
 			}
-			var insData []float64
-			var insIDs []int32
-			for i := range group {
-				insData = append(insData, insBy[i][s].Data...)
-				insIDs = append(insIDs, idsBy[i][s]...)
-			}
-			if len(insIDs) > 0 {
-				tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
-			}
-			if tree != orig {
-				newTrees[s] = tree
-			}
 		}
-	}
-	parlay.Submit(thunks).Wait()
+		parlay.Submit(thunks).Wait()
 
-	epoch := old.epoch
-	changed := false
-	for _, s := range affected {
-		if newTrees[s] != nil {
-			changed = true
-			break
+		epoch := old.epoch
+		changed := false
+		for _, s := range affected {
+			if newTrees[s] != nil {
+				changed = true
+				break
+			}
 		}
-	}
-	if changed {
-		epoch = e.publish(func(vec []*bdltree.Tree) {
+		if changed {
+			epoch = e.publish(func(vec []*bdltree.Tree) {
+				for _, s := range affected {
+					if newTrees[s] != nil {
+						vec[s] = newTrees[s]
+					}
+				}
+			})
 			for _, s := range affected {
 				if newTrees[s] != nil {
-					vec[s] = newTrees[s]
+					e.shards[s].noteCommit(rowsShard[s])
 				}
 			}
-		})
-	}
-	for i := len(affected) - 1; i >= 0; i-- {
-		e.shards[affected[i]].commitMu.Unlock()
-	}
-	perDeleted := make([]int, nG)
-	for i := range group {
-		for _, s := range affected {
-			perDeleted[i] += perDelShard[s][i]
 		}
+		for i := len(affected) - 1; i >= 0; i-- {
+			e.shards[affected[i]].commitMu.Unlock()
+		}
+		perDeleted := make([]int, nG)
+		for i := range group {
+			for _, s := range affected {
+				perDeleted[i] += perDelShard[s][i]
+			}
+		}
+		finish(group, perDeleted, epoch)
+		return
 	}
-	finish(group, perDeleted, epoch)
 }
 
 // publish is phase two of a commit: replace the published shard vector's

@@ -7,12 +7,15 @@ import (
 	"pargeo/internal/morton"
 )
 
-// partition is the engine's immutable Morton-range space partition: shard s
-// owns the inclusive code interval (bounds[s-1], bounds[s]] (with implicit
-// 0-1 = -1 and bounds[S-1] = MaxCode). It is created once, by the first
-// committed insertion (boundaries chosen by sampling that commit's points),
-// and never rebalanced; every later routing, pruning, and publish decision
-// reads it without synchronization.
+// partition is one immutable Morton-range space partition: shard s owns the
+// inclusive code interval (bounds[s-1], bounds[s]] (with implicit 0-1 = -1
+// and bounds[S-1] = MaxCode). The first committed insertion creates the
+// founding partition (boundaries chosen by sampling that commit's points);
+// the rebalancer may later replace it wholesale — split/merge keeps the
+// world box and moves one boundary pair, a full repartition widens the
+// world and re-places every boundary — but a partition value itself never
+// mutates, so routing, pruning, and publish decisions read whichever
+// partition pointer they loaded without synchronization.
 type partition struct {
 	dim    int
 	world  geom.Box // quantization box of the defining commit
@@ -71,7 +74,8 @@ func (p *partition) minSqDist(s int, q []float64) float64 {
 // newPartition places S-1 boundaries at the quantiles of a sample of the
 // defining commit's Morton codes. Duplicate quantiles (heavily skewed or
 // tiny samples) simply leave some shards empty — routing and pruning treat
-// an empty code interval consistently, and the design is rebalance-free.
+// an empty code interval consistently, and the rebalancer can later merge
+// them away.
 func newPartition(dim, shards int, world geom.Box, codes []uint64, sampleSize int) *partition {
 	sample := make([]uint64, 0, sampleSize)
 	if len(codes) <= sampleSize {
@@ -95,6 +99,16 @@ func newPartition(dim, shards int, world geom.Box, codes []uint64, sampleSize in
 		}
 		bounds[j] = sample[idx]
 	}
+	return newPartitionFromBounds(dim, world, bounds)
+}
+
+// newPartitionFromBounds builds a partition directly from S-1 ascending
+// inclusive upper bounds, precomputing each shard's conservative cell-box
+// geometry. This is the constructor the rebalancer uses after moving a
+// boundary pair (split/merge keeps the world box) or re-placing every
+// boundary under a widened world.
+func newPartitionFromBounds(dim int, world geom.Box, bounds []uint64) *partition {
+	shards := len(bounds) + 1
 	p := &partition{dim: dim, world: world, bounds: bounds}
 	p.cellBoxes = make([][]geom.Box, shards)
 	p.unionBox = make([]geom.Box, shards)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"sort"
 
 	"pargeo/internal/bdltree"
@@ -67,7 +68,7 @@ func (s *Snapshot) knnPooled(queries geom.Points, k int, pool *kdtree.BufferPool
 		var order []shardDist
 		for i := lo; i < hi; i++ {
 			buf.Reset()
-			order = s.knnOne(queries.At(i), buf, order)
+			order = s.knnOne(queries.At(i), -1, buf, order)
 			out[i] = buf.Result(nil)
 		}
 		if pool != nil {
@@ -75,6 +76,56 @@ func (s *Snapshot) knnPooled(queries geom.Points, k int, pool *kdtree.BufferPool
 		}
 	})
 	return out
+}
+
+// KNNInto accumulates the snapshot's candidates for query q into buf, which
+// the caller owns and may have pre-loaded with candidates from elsewhere —
+// the multi-shard analogue of bdltree.Tree.KNNInto, with the same contract:
+// shards feed one shared buffer whose shrinking k-th-distance bound prunes
+// the remaining shards, and the buffer afterward holds exactly the global k
+// nearest. exclude (or -1) is a global id to skip.
+func (s *Snapshot) KNNInto(q []float64, exclude int32, buf *kdtree.KNNBuffer) {
+	s.knnOne(q, exclude, buf, nil)
+}
+
+// AllKNN answers one k-NN query per row of queries against the snapshot,
+// returning flat row-major ids: query i's neighbors occupy
+// ids[i*k : (i+1)*k], sorted by increasing distance and padded with -1 when
+// the snapshot holds fewer than k live points (empty shards included). If
+// sqDists is non-nil it must have length queries.Len()*k and receives the
+// matching squared distances (+Inf padding) — exactly the row contract of
+// kdtree.Tree.AllKNN, so sharded and single-tree batch answers are
+// interchangeable.
+func (s *Snapshot) AllKNN(queries geom.Points, k int, sqDists []float64) []int32 {
+	if k <= 0 {
+		panic("engine: AllKNN requires k >= 1")
+	}
+	n := queries.Len()
+	if sqDists != nil && len(sqDists) != n*k {
+		panic("engine: AllKNN sqDists length must be queries.Len()*k")
+	}
+	ids := make([]int32, n*k)
+	parlay.ForBlocked(n, 32, func(lo, hi int) {
+		buf := kdtree.NewKNNBuffer(k)
+		var order []shardDist
+		for i := lo; i < hi; i++ {
+			buf.Reset()
+			order = s.knnOne(queries.At(i), -1, buf, order)
+			row := ids[i*k : (i+1)*k]
+			var drow []float64
+			if sqDists != nil {
+				drow = sqDists[i*k : (i+1)*k]
+			}
+			m := buf.ResultInto(row, drow)
+			for j := m; j < k; j++ {
+				row[j] = -1
+				if drow != nil {
+					drow[j] = math.Inf(1)
+				}
+			}
+		}
+	})
+	return ids
 }
 
 type shardDist struct {
@@ -87,9 +138,9 @@ type shardDist struct {
 // bound; once the buffer is full, any shard whose bound is at or beyond the
 // current k-th distance — and, the order being sorted, every shard after it
 // — is pruned. scratch is reused across calls to avoid allocation.
-func (s *Snapshot) knnOne(q []float64, buf *kdtree.KNNBuffer, scratch []shardDist) []shardDist {
+func (s *Snapshot) knnOne(q []float64, exclude int32, buf *kdtree.KNNBuffer, scratch []shardDist) []shardDist {
 	if s.part == nil || len(s.trees) == 1 {
-		s.trees[0].KNNInto(q, -1, buf)
+		s.trees[0].KNNInto(q, exclude, buf)
 		return scratch
 	}
 	order := scratch[:0]
@@ -104,7 +155,7 @@ func (s *Snapshot) knnOne(q []float64, buf *kdtree.KNNBuffer, scratch []shardDis
 		if sd.d >= buf.Bound() { // Bound() is +inf until k candidates seen
 			break
 		}
-		s.trees[sd.s].KNNInto(q, -1, buf)
+		s.trees[sd.s].KNNInto(q, exclude, buf)
 	}
 	return order
 }

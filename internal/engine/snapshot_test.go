@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/oracle"
+)
+
+// TestSnapshotAllKNNPadding: the sharded batch k-NN must honor the
+// single-tree row contract exactly — rows sorted by distance, padded with
+// -1 ids and +Inf squared distances when k exceeds the live population —
+// including when k exceeds every shard, when shards are empty, and on an
+// entirely empty engine. Differential against the brute-force oracle.
+func TestSnapshotAllKNNPadding(t *testing.T) {
+	const dim = 2
+	// Identical founding points leave S-1 shards empty; the spread batch
+	// then populates some shards while others stay empty.
+	e := New(dim, Options{BufferSize: 16, Shards: 4})
+	m := &oracle.LiveSet{Dim: dim}
+	same := geom.NewPoints(40, dim)
+	for i := 0; i < 40; i++ {
+		same.Set(i, []float64{7, 7})
+	}
+	res := e.Insert(same)
+	m.Insert(res.IDs, same)
+	spread := generators.UniformCube(80, dim, 41)
+	res = e.Insert(spread)
+	m.Insert(res.IDs, spread)
+	empty := 0
+	for _, n := range e.Snapshot().ShardSizes() {
+		if n == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("test premise: at least one empty shard")
+	}
+
+	snap := e.Snapshot()
+	pts := m.Points()
+	n := snap.Size()
+	queries := generators.UniformCube(12, dim, 43)
+	for _, k := range []int{1, 5, n, n + 1, 3 * n} {
+		dists := make([]float64, queries.Len()*k)
+		ids := snap.AllKNN(queries, k, dists)
+		for qi := 0; qi < queries.Len(); qi++ {
+			q := queries.At(qi)
+			row := ids[qi*k : (qi+1)*k]
+			drow := dists[qi*k : (qi+1)*k]
+			wantD := oracle.KNNDists(pts, q, k, -1)
+			for j := 0; j < k; j++ {
+				if j < len(wantD) {
+					if row[j] < 0 {
+						t.Fatalf("k=%d q=%d: row[%d] padded early (want %d real results)", k, qi, j, len(wantD))
+					}
+					if got := geom.SqDist(q, m.CoordsOf(row[j])); got != wantD[j] {
+						t.Fatalf("k=%d q=%d: dist[%d]=%v, oracle %v", k, qi, j, got, wantD[j])
+					}
+					if drow[j] != wantD[j] {
+						t.Fatalf("k=%d q=%d: sqDists[%d]=%v, oracle %v", k, qi, j, drow[j], wantD[j])
+					}
+				} else {
+					if row[j] != -1 {
+						t.Fatalf("k=%d q=%d: pad id row[%d]=%d, want -1", k, qi, j, row[j])
+					}
+					if !math.IsInf(drow[j], 1) {
+						t.Fatalf("k=%d q=%d: pad dist row[%d]=%v, want +Inf", k, qi, j, drow[j])
+					}
+				}
+			}
+		}
+	}
+
+	// Entirely empty engine: every row fully padded.
+	e2 := New(dim, Options{Shards: 4})
+	ids := e2.Snapshot().AllKNN(queries, 3, nil)
+	for i, id := range ids {
+		if id != -1 {
+			t.Fatalf("empty engine: ids[%d]=%d, want -1", i, id)
+		}
+	}
+}
+
+// TestSnapshotKNNInto: the exported shared-buffer fan-out must match the
+// oracle (with and without an excluded id), so callers can thread one
+// buffer across snapshots exactly as across bdltree shard trees.
+func TestSnapshotKNNInto(t *testing.T) {
+	const dim = 2
+	e := New(dim, Options{BufferSize: 32, Shards: 4})
+	m := &oracle.LiveSet{Dim: dim}
+	pts := generators.UniformCube(300, dim, 47)
+	res := e.Insert(pts)
+	m.Insert(res.IDs, pts)
+
+	snap := e.Snapshot()
+	all := m.Points()
+	probes := generators.UniformCube(10, dim, 48)
+	buf := kdtree.NewKNNBuffer(6)
+	for i := 0; i < probes.Len(); i++ {
+		q := probes.At(i)
+		buf.Reset()
+		snap.KNNInto(q, -1, buf)
+		got := buf.Result(nil)
+		wantD := oracle.KNNDists(all, q, 6, -1)
+		if len(got) != len(wantD) {
+			t.Fatalf("probe %d: %d results, want %d", i, len(got), len(wantD))
+		}
+		for j, id := range got {
+			if geom.SqDist(q, m.CoordsOf(id)) != wantD[j] {
+				t.Fatalf("probe %d: dist[%d] mismatch", i, j)
+			}
+		}
+		// Excluding the nearest id must reproduce the oracle minus it.
+		ex := got[0]
+		buf.Reset()
+		snap.KNNInto(q, ex, buf)
+		got2 := buf.Result(nil)
+		for _, id := range got2 {
+			if id == ex {
+				t.Fatalf("probe %d: excluded id %d returned", i, ex)
+			}
+		}
+		if geom.SqDist(q, m.CoordsOf(got2[0])) != wantD[1] {
+			t.Fatalf("probe %d: exclusion shifted distances wrongly", i)
+		}
+	}
+}

@@ -170,6 +170,79 @@ func TestRangeBoundContainsMembers(t *testing.T) {
 	}
 }
 
+// TestCellBoxConservativeDegenerateWorlds is the conservativeness
+// differential for degenerate quantization boxes: for worlds with a
+// zero-extent dimension, near-epsilon extents (down to subnormal widths),
+// and healthy extents mixed in, EVERY point — in-world, clamped far
+// outside, or sitting exactly on the degenerate axis value — must lie
+// inside at least one conservative cell box of whichever code interval its
+// Morton code falls in. A violation means a Morton-sharded router could
+// prune the shard actually holding the point.
+func TestCellBoxConservativeDegenerateWorlds(t *testing.T) {
+	const dim = 2
+	worlds := []geom.Box{
+		{Min: []float64{0, 5}, Max: []float64{10, 5}},           // zero extent in y
+		{Min: []float64{0, 5}, Max: []float64{10, 5 + 1e-9}},    // near-epsilon extent
+		{Min: []float64{0, 5}, Max: []float64{10, 5 + 1e-300}},  // subnormal cell width
+		{Min: []float64{-3, -3}, Max: []float64{-3, -3}},        // zero extent in both
+		{Min: []float64{0, -1e12}, Max: []float64{1e-12, 1e12}}, // epsilon x, huge y
+	}
+	r := rng.NewXoshiro256(321)
+	for wi, world := range worlds {
+		// Probe points: inside the box, on its boundary, just outside, and
+		// far outside (clamped); all combinations per axis.
+		var probes []([]float64)
+		offsets := []float64{0, 0.25, 0.5, 1, -0.1, 1.1, -1e6, 1e6, 1e-320}
+		for _, fx := range offsets {
+			for _, fy := range offsets {
+				p := []float64{
+					world.Min[0] + fx*(world.Max[0]-world.Min[0]+1e-30),
+					world.Min[1] + fy*(world.Max[1]-world.Min[1]+1e-30),
+				}
+				// Also absolute displacements, which dominate when the
+				// extent itself is tiny or zero.
+				probes = append(probes, p,
+					[]float64{world.Min[0] + fx, world.Min[1] + fy})
+			}
+		}
+		max := MaxCode(dim)
+		for trial := 0; trial < 50; trial++ {
+			// A random shard-style cut of the code space.
+			a := r.Next64() & max
+			b := r.Next64() & max
+			if a > b {
+				a, b = b, a
+			}
+			intervals := [][2]uint64{{0, a}, {a, b}, {b, max}}
+			for _, iv := range intervals {
+				boxes := RangeBoxes(iv[0], iv[1], dim, world)
+				for pi, p := range probes {
+					code := Encode(p, world)
+					if code < iv[0] || code > iv[1] {
+						continue
+					}
+					in := false
+					for _, bx := range boxes {
+						if bx.Contains(p) {
+							in = true
+							break
+						}
+					}
+					if !in {
+						t.Fatalf("world %d probe %d %v (code %d) escapes the conservative boxes of [%d, %d]",
+							wi, pi, p, code, iv[0], iv[1])
+					}
+					// The distance lower bound must never exceed the true
+					// distance to a member point (zero: p is a member).
+					if d := BoxesMinSqDist(boxes, p); d != 0 {
+						t.Fatalf("world %d probe %d: minSqDist %v to an interval containing the point", wi, pi, d)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestCellBoxDegenerateExtent: a world box flat in one dimension must yield
 // unbounded cell boxes there (every coordinate quantizes to cell 0), and
 // empty boxes for unreachable cells.

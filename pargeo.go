@@ -134,14 +134,34 @@ func NewB2(dim int, split SplitRule) DynamicTree { return bdltree.NewB2(dim, spl
 // concurrent small updates coalesce per shard — disjoint-shard batches
 // commit truly in parallel, multi-shard batches publish all-or-nothing via
 // a two-phase swap — and bursts of concurrent queries are grouped into
-// single data-parallel passes that fan out over the shards. See
-// internal/engine for the protocol.
+// single data-parallel passes that fan out over the shards. With
+// EngineOptions.Rebalance the shard partition additionally tracks the
+// live load online (hot-shard splits, cold merges, drift-triggered
+// repartitions under a widened world). See internal/engine for the
+// protocol.
 type Engine = engine.Engine
 
 // EngineOptions configure an Engine. Set Shards (e.g. to AutoShards) to
 // partition space into independent Morton-range shards whose updates
-// commit in parallel; zero runs unsharded.
+// commit in parallel; zero runs unsharded. Set Rebalance to keep the
+// partition tracking the live load online: a background goroutine splits
+// write-hot shards at the weighted median code of their recent writes,
+// merges cold neighbors, and rebuilds the partition under a widened world
+// box when inserts drift beyond the founding extent — all published
+// atomically, so queries never see a torn migration. Call Engine.Close to
+// stop the background rebalancer.
 type EngineOptions = engine.Options
+
+// RebalanceAction reports what an Engine.Rebalance pass did (see
+// RebalanceNone, RebalanceSplitMerge, RebalanceRepartition).
+type RebalanceAction = engine.RebalanceAction
+
+// Rebalance pass outcomes.
+const (
+	RebalanceNone        = engine.RebalanceNone
+	RebalanceSplitMerge  = engine.RebalanceSplitMerge
+	RebalanceRepartition = engine.RebalanceRepartition
+)
 
 // AutoShards, as EngineOptions.Shards, selects one shard per GOMAXPROCS
 // worker at engine creation.
