@@ -12,6 +12,7 @@
 //	pargeo-bench -experiment sebstats        # §6.2 sampling-phase statistics
 //	pargeo-bench -experiment zdcompare       # §6.3 BDL-tree vs Zd-tree
 //	pargeo-bench -experiment engine          # mixed read/write serving throughput
+//	pargeo-bench -experiment wal             # WAL durability overhead + recovery time
 //	pargeo-bench -experiment kdtree          # kd-tree Build/k-NN/range microbenchmarks
 //	pargeo-bench -experiment all
 //
@@ -26,6 +27,7 @@
 //
 //	pargeo-bench -experiment kdtree -n 100000 -json BENCH_kdtree.json
 //	pargeo-bench -experiment engine -n 100000 -shards 1,2,4 -json BENCH_engine.json
+//	pargeo-bench -experiment wal -n 100000 -json BENCH_wal.json
 //
 // The engine experiment sweeps the Morton shard count (-shards) and the
 // per-configuration measurement window (-measure).
@@ -48,7 +50,7 @@ import (
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|kdtree|all")
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|wal|kdtree|all")
 	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
 	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
@@ -92,6 +94,7 @@ func main() {
 		engineBench(*flagN, *flagSeed, parseThreads(*flagShards), *flagMeasure)
 		engineDriftBench(*flagN, *flagSeed, parseRebalance(*flagRebalance))
 	})
+	run("wal", func() { walBench(*flagN, *flagSeed, *flagMeasure) })
 	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
 	if !matched {
 		// A typo must not silently run nothing (and, with -json, clobber a

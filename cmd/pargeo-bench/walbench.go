@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"pargeo/internal/engine"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+)
+
+// walBench measures what durability costs and what recovery buys back:
+//
+//   - Commit throughput with the WAL off (the in-memory engine), with the
+//     WAL in relaxed group-sync mode (SyncEvery=64 — ack immediately,
+//     fsync every 64 records), and with strict per-commit fsync
+//     (SyncEvery=1). The waloff and wal-s64 rows are recorded for the
+//     committed BENCH_wal.json and the CI compare gate; the strict row is
+//     narrative only, because its throughput measures the host's fsync
+//     latency (storage hardware), not this repository's code.
+//   - Recovery throughput versus log length: points/s to reopen a
+//     directory whose WAL holds 1/4, 1/2, and all of the data set
+//     uncheckpointed, plus the checkpointed limit (replay ≈ 0, recovery =
+//     checkpoint load + tree rebuild). These rows regression-gate the
+//     replay and restore paths.
+func walBench(n int, seed uint64, measure time.Duration) {
+	fmt.Println("=== wal: durability overhead + recovery time (3D uniform) ===")
+	const (
+		dim      = 3
+		updBatch = 512
+	)
+	cfg := struct{ writers, readers int }{4, 0}
+	seedPts := generators.UniformCube(n, dim, seed)
+	domain := geom.BoundingBoxAll(seedPts)
+
+	type target struct {
+		name     string
+		recorded bool
+		sync     int // 0 = WAL off
+	}
+	targets := []target{
+		{"commit-waloff", true, 0},
+		{"commit-wal-s64", true, 64},
+		{"commit-wal-s1", false, 1},
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "target\twriters\tupdates/s\tpoints/s")
+	rate := map[string]float64{}
+	for _, tg := range targets {
+		var e *engine.Engine
+		var dir string
+		if tg.sync == 0 {
+			e = engine.New(dim, engine.Options{Shards: 4})
+		} else {
+			var err error
+			dir, err = os.MkdirTemp("", "pargeo-walbench-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+				os.Exit(1)
+			}
+			e, err = engine.Open(dim, engine.Options{Shards: 4, Durability: &engine.Durability{
+				Dir: dir, SyncEvery: tg.sync,
+			}})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		e.Insert(seedPts)
+		_, ups := runMixed(cfg.writers, cfg.readers, measure, domain, seed, updBatch,
+			func(q []float64) {}, func(ins, del geom.Points) { e.Update(ins, del) })
+		e.Close()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		rate[tg.name] = ups
+		fmt.Fprintf(w, "%s\t%d\t%.3g\t%.3g\n", tg.name, cfg.writers, ups, ups*updBatch)
+		if tg.recorded {
+			secs := (time.Duration(mixedWindows) * measure).Seconds()
+			record(BenchRecord{
+				Experiment: "wal",
+				Name:       fmt.Sprintf("%s/w=%d/updates", tg.name, cfg.writers),
+				N:          n, Dim: dim, Seconds: secs, OpsPerSec: ups,
+			})
+		}
+	}
+	w.Flush()
+	if off := rate["commit-waloff"]; off > 0 {
+		fmt.Printf("\nWAL overhead at SyncEvery=64: %.1f%% (must stay ≤25%%); strict SyncEvery=1\n",
+			(1-rate["commit-wal-s64"]/off)*100)
+		fmt.Printf("runs at %.1f%% of waloff — that ratio is the host's fsync latency, not code.\n",
+			rate["commit-wal-s1"]/off*100)
+	}
+
+	// Recovery time versus log length. Each run writes `logPts` points in
+	// WAL records past the founding batch, closes cleanly, and times a
+	// fresh Open: latest checkpoint (here: none, except the last row) +
+	// full replay + tree rebuild.
+	fmt.Println()
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "recovery\tWAL points\trecover ms\tpoints/s")
+	for _, rc := range []struct {
+		name   string
+		logPts int
+		ckpt   bool
+	}{
+		{"recover-log-quarter", n / 4, false},
+		{"recover-log-half", n / 2, false},
+		{"recover-log-full", n, false},
+		{"recover-ckpt", n, true},
+	} {
+		dir, err := os.MkdirTemp("", "pargeo-walbench-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+			os.Exit(1)
+		}
+		open := func() (*engine.Engine, error) {
+			return engine.Open(dim, engine.Options{Shards: 4, Durability: &engine.Durability{
+				Dir: dir, SyncEvery: 64,
+			}})
+		}
+		e, err := open()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+			os.Exit(1)
+		}
+		for lo := 0; lo < rc.logPts; lo += updBatch {
+			hi := lo + updBatch
+			if hi > rc.logPts {
+				hi = rc.logPts
+			}
+			e.Insert(seedPts.Slice(lo, hi))
+		}
+		if rc.ckpt {
+			if err := e.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "walbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		e.Close()
+		var re *engine.Engine
+		secs := timeIt(func() {
+			re, err = open()
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "walbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		if re.Size() != rc.logPts {
+			fmt.Fprintf(os.Stderr, "walbench: recovered %d points, want %d\n", re.Size(), rc.logPts)
+			os.Exit(1)
+		}
+		re.Close()
+		os.RemoveAll(dir)
+		pps := float64(rc.logPts) / secs
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.3g\n", rc.name, rc.logPts, secs*1000, pps)
+		record(BenchRecord{
+			Experiment: "wal",
+			Name:       fmt.Sprintf("%s/points", rc.name),
+			N:          rc.logPts, Dim: dim, Seconds: secs, OpsPerSec: pps,
+		})
+	}
+	w.Flush()
+	fmt.Println("\nCommit rows: 4 writers churn per-quadrant", updBatch, "-point batches (insert")
+	fmt.Println("fresh + delete previous per update); wal-s64 appends every commit to the")
+	fmt.Println("segmented WAL under the shard commit locks and fsyncs every 64 records,")
+	fmt.Println("so acks don't wait on the disk. Recovery rows: time for Open to scan the")
+	fmt.Println("log, replay records past the latest checkpoint, and rebuild the shard")
+	fmt.Println("trees; recover-ckpt is the checkpointed limit (replay ≈ 0).")
+}

@@ -8,11 +8,15 @@
 // mover whose batch straddles districts still publishes it all-or-nothing
 // (two-phase shard publish), every query reads a fully committed snapshot
 // with no locks, and concurrent queries group into shared data-parallel
-// passes fanned out over the shards.
+// passes fanned out over the shards. The engine serves durably: every
+// commit is written ahead to a segmented log, and at the end the process
+// "restarts" — the engine is closed and reopened from its directory,
+// recovering the whole fleet at the exact epoch it left off.
 package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,7 +38,25 @@ func main() {
 	// expansion mover (below) relocates couriers beyond the founding city
 	// limits, the rebalancer rebuilds the partition under a widened world
 	// instead of letting the new district alias into a boundary shard.
-	e := pargeo.NewEngine(dim, pargeo.EngineOptions{Shards: movers, Rebalance: true})
+	//
+	// The engine is durable: OpenEngine roots it at a directory, every
+	// commit below is written ahead to a segmented log before it becomes
+	// visible, and SyncEvery=64 acks updates immediately while fsyncing
+	// every 64 commits (prefix durability — right for a fleet tracker,
+	// where a crash costs at most a moment of the freshest positions).
+	dir, err := os.MkdirTemp("", "pargeo-serving-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := pargeo.EngineOptions{
+		Shards: movers, Rebalance: true,
+		Durability: &pargeo.Durability{SyncEvery: 64},
+	}
+	e, err := pargeo.OpenEngine(dir, dim, opts)
+	if err != nil {
+		panic(err)
+	}
 	defer e.Close()
 
 	// Seed the fleet uniformly over the city. This founding insertion also
@@ -184,5 +206,38 @@ func main() {
 		float64(queries.Load())/elapsed.Seconds())
 	if snap.Size() != couriers {
 		panic("serving: fleet size drifted")
+	}
+
+	// Restart: checkpoint (so recovery loads a snapshot instead of
+	// replaying the whole serving run's log), shut down cleanly — Close
+	// drains in-flight commits and fsyncs the log tail, so nothing
+	// acknowledged is lost even in relaxed SyncEvery mode — and reopen
+	// from the directory. The recovered engine resumes at the same epoch
+	// with the same fleet, and a query answers identically.
+	if err := e.Checkpoint(); err != nil {
+		panic(err)
+	}
+	probe := fleet.At(0)
+	before := e.KNN(probe, 3)
+	if err := e.Close(); err != nil {
+		panic(err)
+	}
+	// Close stopped the rebalancer, so the epoch is final now (the snap
+	// read above may predate a last background migration's note record).
+	finalEpoch := e.Epoch()
+	re, err := pargeo.OpenEngine(dir, dim, opts)
+	if err != nil {
+		panic(err)
+	}
+	defer re.Close()
+	fmt.Printf("restarted from %s: epoch %d, fleet size %d\n", dir, re.Epoch(), re.Size())
+	if re.Epoch() != finalEpoch || re.Size() != couriers {
+		panic("serving: restart lost state")
+	}
+	after := re.KNN(probe, 3)
+	for i := range before {
+		if before[i] != after[i] {
+			panic("serving: restart changed an answer")
+		}
 	}
 }

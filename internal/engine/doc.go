@@ -155,4 +155,46 @@
 // per-tree tombstone bitmaps. A commit is therefore cheap, proportional to
 // the structural change of its own shard, and a superseded version stays
 // valid for readers that loaded it before the swap.
+//
+// # Durability
+//
+// With Options.Durability set (construct via Open, not New), the engine
+// writes every commit ahead to a segmented, CRC-framed log
+// (internal/wal) before the snapshot swap that makes it visible:
+//
+//	publish: append WAL record (under the publish lock) -> swap snapshot
+//	ack:     after the record's group-commit fsync (SyncEvery<=1), or
+//	         immediately, with a background fsync every K records
+//	         (SyncEvery=K>1: prefix durability to the last sync)
+//
+// The append sits INSIDE the publish critical section, so the log's
+// record order is exactly the epoch order and a failed append publishes
+// nothing (the group is rejected, UpdateResult.Err). The fsync wait sits
+// OUTSIDE the shard commit locks, so parallel shard committers share
+// group-commit fsyncs instead of serializing on the disk. Rebalancer
+// migrations consume an epoch without changing the live set; they log an
+// empty "note" record the same way, keeping the epoch chain contiguous.
+//
+// Engine.Checkpoint serializes the current snapshot — each shard's tree
+// extracted in Morton order via bdltree.ExtractRange, plus the partition
+// geometry, epoch, and id watermark — into an atomically-renamed
+// checkpoint file, then truncates WAL segments (and older checkpoints)
+// it supersedes. Snapshots are immutable, so a checkpoint is a
+// consistent cut at its epoch no matter how many commits land while it
+// is written; Durability.CheckpointEvery runs one in the background
+// every K commits.
+//
+// Open recovers by loading the newest valid checkpoint (falling back
+// past corrupt ones), replaying WAL records after its epoch — each
+// record re-validated by CRC, a torn tail discarded, any epoch gap
+// rejected loudly — and rebuilding the shard trees from the result.
+// Everything acknowledged under SyncEvery=1 survives any crash;
+// relaxed-mode acks survive to the last background sync. After any WAL
+// write or sync error the engine fail-stops: the error is sticky and
+// every subsequent update (including no-ops) is rejected, because "acked
+// means durable" cannot be promised past an unknown disk state.
+//
+// All durable file I/O goes through the wal.VFS interface; tests inject
+// wal.MemFS to enumerate every crash point deterministically (see
+// crash_matrix_test.go).
 package engine

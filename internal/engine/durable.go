@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"pargeo/internal/bdltree"
+	"pargeo/internal/geom"
+	"pargeo/internal/parlay"
+	"pargeo/internal/wal"
+)
+
+// ErrClosed is returned (via UpdateResult.Err) for updates submitted
+// after Close on a durable engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Durability configures the engine's write-ahead log and checkpointing.
+// Pass it via Options.Durability and construct the engine with Open.
+type Durability struct {
+	// Dir holds the WAL segments and checkpoint files.
+	Dir string
+	// SyncEvery selects the durability mode. 0 or 1: every update is
+	// acknowledged only after its WAL record is fsynced (concurrent
+	// commits share fsyncs via group commit). K>1: updates are
+	// acknowledged immediately and the log fsyncs every K records — a
+	// crash can lose up to the last K-1 acknowledged batches, but always
+	// a suffix (prefix durability to the most recent sync).
+	SyncEvery int
+	// CheckpointEvery triggers an automatic background checkpoint after
+	// that many committed WAL records. 0 disables automatic checkpoints;
+	// Engine.Checkpoint remains available.
+	CheckpointEvery int
+	// SegmentSize is the WAL segment rotation threshold in bytes
+	// (0 = wal default).
+	SegmentSize int
+	// FS overrides the file system (tests inject wal.MemFS for
+	// deterministic crash injection). nil = the real file system.
+	FS wal.VFS
+}
+
+// Open constructs an engine, recovering durable state first when
+// Options.Durability is set: it loads the newest valid checkpoint,
+// replays WAL records past its epoch (discarding any torn tail), rebuilds
+// the shard trees, and opens a fresh WAL segment for new commits. The
+// recovered engine resumes at the recovered epoch with the recovered
+// id-generator watermark, so ids never collide across restarts.
+func Open(dim int, opts Options) (*Engine, error) {
+	e := newEngine(dim, opts)
+	if d := opts.Durability; d != nil && d.Dir != "" {
+		if err := e.recoverDurable(*d); err != nil {
+			return nil, err
+		}
+	}
+	e.startRebalancer()
+	return e, nil
+}
+
+// recoverDurable restores state from d.Dir and opens the WAL for
+// appending. Called once, before the engine is visible to any other
+// goroutine.
+func (e *Engine) recoverDurable(d Durability) error {
+	fs := d.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	if err := fs.MkdirAll(d.Dir); err != nil {
+		return err
+	}
+	ckpt, err := wal.LoadLatestCheckpoint(fs, d.Dir)
+	if err != nil {
+		return err
+	}
+	var afterEpoch uint64
+	basePts := geom.Points{Dim: e.dim}
+	var baseIDs []int32
+	var nextID int64
+	if ckpt != nil {
+		if ckpt.Dim != e.dim {
+			return fmt.Errorf("engine: %s holds dim-%d data, engine is dim-%d", d.Dir, ckpt.Dim, e.dim)
+		}
+		afterEpoch = ckpt.Epoch
+		basePts, baseIDs = ckpt.Pts, ckpt.IDs
+		nextID = ckpt.NextID
+	}
+	recs, err := wal.ScanLog(fs, d.Dir, e.dim, afterEpoch)
+	if err != nil {
+		return err
+	}
+	pts, ids := replayRecords(e.dim, basePts, baseIDs, recs)
+	finalEpoch := afterEpoch + uint64(len(recs))
+	for _, id := range ids {
+		if int64(id) >= nextID {
+			nextID = int64(id) + 1
+		}
+	}
+	e.nextID.Store(nextID)
+
+	topts := bdltree.Options{Split: e.opts.Split, BufferSize: e.opts.BufferSize}
+	var snap *Snapshot
+	var part *partition
+	switch {
+	case pts.Len() == 0:
+		// Nothing live (possibly after epochs of churn): the engine is
+		// structurally pre-founding again, just at a later epoch.
+		snap = &Snapshot{trees: []*bdltree.Tree{e.newTree()}, epoch: finalEpoch}
+	case e.nshard == 1:
+		t := bdltree.NewFromSorted(e.dim, topts, pts, ids)
+		snap = &Snapshot{trees: []*bdltree.Tree{t}, epoch: finalEpoch, size: t.Size()}
+	case ckpt != nil && ckpt.HasPart && len(recs) == 0 && ckpt.Shards == e.nshard:
+		// Exact restore: no replay and an unchanged shard count, so the
+		// checkpoint's own partition can be reinstated and each shard
+		// rebuilt from its (code-sorted) extract.
+		part = newPartitionFromBounds(e.dim, ckpt.World, ckpt.Bounds)
+		bySh, idsBy, _ := part.splitByShard(pts, ids)
+		trees := make([]*bdltree.Tree, e.nshard)
+		parlay.For(e.nshard, 1, func(s int) {
+			trees[s] = bdltree.NewFromSorted(e.dim, topts, bySh[s], idsBy[s])
+		})
+		snap = &Snapshot{part: part, trees: trees, epoch: finalEpoch, size: pts.Len()}
+	default:
+		// Replay changed the live set (or the shard count changed):
+		// refound the partition over the recovered points, under a world
+		// at least as wide as the checkpoint's.
+		world := geom.BoundingBoxAll(pts)
+		if ckpt != nil && ckpt.HasPart {
+			world.Union(ckpt.World)
+		}
+		var trees []*bdltree.Tree
+		part, trees = e.shardedBuild(world, pts, ids)
+		size := 0
+		for _, t := range trees {
+			size += t.Size()
+		}
+		snap = &Snapshot{part: part, trees: trees, epoch: finalEpoch, size: size}
+	}
+	e.snap.Store(snap)
+	if part != nil {
+		e.part.Store(part)
+	}
+
+	log, err := wal.OpenLog(fs, d.Dir, e.dim, wal.LogOptions{
+		SegmentSize: d.SegmentSize,
+		SyncEvery:   d.SyncEvery,
+	}, finalEpoch+1)
+	if err != nil {
+		return err
+	}
+	e.log = log
+	e.durFS, e.durDir, e.dur = fs, d.Dir, d
+	return nil
+}
+
+// replayRecords applies commit records to a base live set and returns
+// the final live points and ids. It reproduces the engine's group
+// semantics exactly: a delete row tombstones EVERY live point whose
+// coordinates match it bit-for-bit, all of a record's deletes apply
+// before any of its inserts, and note records change nothing.
+func replayRecords(dim int, basePts geom.Points, baseIDs []int32, recs []wal.Record) (geom.Points, []int32) {
+	data := append([]float64(nil), basePts.Data...)
+	ids := append([]int32(nil), baseIDs...)
+	alive := make([]bool, len(ids))
+	for i := range alive {
+		alive[i] = true
+	}
+	key := func(row []float64) string {
+		b := make([]byte, 0, dim*8)
+		for _, v := range row {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return string(b)
+	}
+	index := make(map[string][]int, len(ids))
+	for i := range ids {
+		k := key(data[i*dim : (i+1)*dim])
+		index[k] = append(index[k], i)
+	}
+	for _, rec := range recs {
+		if rec.Kind != wal.KindCommit {
+			continue
+		}
+		for _, d := range rec.Dels {
+			for r, n := 0, d.Len(); r < n; r++ {
+				k := key(d.At(r))
+				for _, i := range index[k] {
+					alive[i] = false
+				}
+				delete(index, k)
+			}
+		}
+		for r, n := 0, rec.Ins.Len(); r < n; r++ {
+			i := len(ids)
+			data = append(data, rec.Ins.At(r)...)
+			ids = append(ids, rec.IDs[r])
+			alive = append(alive, true)
+			k := key(rec.Ins.At(r))
+			index[k] = append(index[k], i)
+		}
+	}
+	var outData []float64
+	var outIDs []int32
+	for i := range ids {
+		if alive[i] {
+			outData = append(outData, data[i*dim:(i+1)*dim]...)
+			outIDs = append(outIDs, ids[i])
+		}
+	}
+	return geom.Points{Data: outData, Dim: dim}, outIDs
+}
+
+// walBodyPool recycles commit-record body buffers: encoding runs on the
+// hot write path (under publishMu), and a serving workload would
+// otherwise allocate tens of KB of garbage per commit.
+var walBodyPool = sync.Pool{New: func() any { return new(walScratch) }}
+
+type walScratch struct {
+	body []byte
+	ins  []float64
+	ids  []int32
+	dels []geom.Points
+}
+
+// appendCommit encodes one commit group as a WAL commit-record body and
+// appends it at epoch. The encoding is routing-independent — every
+// delete batch in request order, then the combined insert batch —
+// because the engine's final state after a group is the same however the
+// group was fanned out across shards. The scratch buffers are recycled:
+// Append has fully consumed the body by the time it returns.
+func (e *Engine) appendCommit(epoch uint64, group []*updateReq) (uint64, error) {
+	sc := walBodyPool.Get().(*walScratch)
+	sc.dels, sc.ins, sc.ids = sc.dels[:0], sc.ins[:0], sc.ids[:0]
+	for _, r := range group {
+		if r.del.Len() > 0 {
+			sc.dels = append(sc.dels, r.del)
+		}
+		sc.ins = append(sc.ins, r.ins.Data...)
+		sc.ids = append(sc.ids, r.insIDs...)
+	}
+	sc.body = wal.AppendCommitBody(sc.body[:0], sc.dels, geom.Points{Data: sc.ins, Dim: e.dim}, sc.ids)
+	lsn, err := e.log.Append(wal.KindCommit, epoch, sc.body)
+	walBodyPool.Put(sc)
+	return lsn, err
+}
+
+// waitDurable blocks until the record at lsn is durable (no-op for
+// non-durable engines and relaxed SyncEvery>1 mode). lsn 0 means the
+// commit appended nothing (it changed no state); even then a poisoned
+// log rejects the ack — the engine is fail-stopped, and acknowledging a
+// no-op would vouch for a current epoch whose durability is unknown.
+func (e *Engine) waitDurable(lsn uint64) error {
+	if e.log == nil {
+		return nil
+	}
+	if lsn == 0 {
+		return e.log.Err()
+	}
+	return e.log.WaitDurable(lsn)
+}
+
+// noteWALCommit counts a committed WAL record toward the automatic
+// checkpoint trigger. Checkpoints run in the background so the write
+// path never stalls behind one; a background checkpoint's error is
+// dropped — the WAL retains everything, so only log length suffers.
+func (e *Engine) noteWALCommit() {
+	if e.log == nil || e.dur.CheckpointEvery <= 0 {
+		return
+	}
+	if e.sinceCkpt.Add(1) < int64(e.dur.CheckpointEvery) {
+		return
+	}
+	if !e.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	e.sinceCkpt.Store(0)
+	e.ckptWG.Add(1)
+	go func() {
+		defer e.ckptWG.Done()
+		defer e.ckptBusy.Store(false)
+		e.Checkpoint()
+	}()
+}
+
+// Checkpoint durably serializes the current snapshot — each shard's tree
+// extracted in Morton-code order — records its epoch, and truncates WAL
+// segments (and older checkpoints) the new checkpoint supersedes. The
+// snapshot is immutable, so the checkpoint is a consistent cut at its
+// epoch no matter how many commits land while it is written. Returns an
+// error on a non-durable engine.
+func (e *Engine) Checkpoint() error {
+	if e.log == nil {
+		return errors.New("engine: not durable (no Options.Durability)")
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	snap := e.snap.Load()
+	c := &wal.Checkpoint{
+		Epoch:  snap.epoch,
+		NextID: e.nextID.Load(),
+		Dim:    e.dim,
+		Shards: e.nshard,
+		Pts:    geom.Points{Dim: e.dim},
+	}
+	if part := snap.part; part != nil {
+		c.HasPart = true
+		c.World = part.world
+		c.Bounds = part.bounds
+		var data []float64
+		var ids []int32
+		for s := range snap.trees {
+			lo, hi := part.codeRange(s)
+			_, pts, sids := snap.trees[s].ExtractRange(part.world, lo, hi)
+			data = append(data, pts.Data...)
+			ids = append(ids, sids...)
+		}
+		if len(ids) != snap.size {
+			// A live point encoded outside its shard's range (broken
+			// partition invariant, should be impossible): fall back to the
+			// exhaustive walk rather than checkpoint a partial state.
+			c.Pts, c.IDs = snap.Points()
+			c.HasPart = false
+		} else {
+			c.Pts = geom.Points{Data: data, Dim: e.dim}
+			c.IDs = ids
+		}
+	} else {
+		c.Pts, c.IDs = snap.Points()
+	}
+	if err := wal.WriteCheckpoint(e.durFS, e.durDir, c); err != nil {
+		return err
+	}
+	if err := e.log.PrunePast(c.Epoch); err != nil {
+		return err
+	}
+	wal.PruneCheckpoints(e.durFS, e.durDir, c.Epoch)
+	return nil
+}
+
+// failGroup rejects every request of a group with err: the commit was
+// not applied (its WAL append failed before the snapshot swap).
+func failGroup(group []*updateReq, err error) {
+	for _, r := range group {
+		r.res = UpdateResult{Err: err}
+		close(r.done)
+	}
+}

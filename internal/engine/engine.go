@@ -13,6 +13,7 @@ import (
 	"pargeo/internal/kdtree"
 	"pargeo/internal/morton"
 	"pargeo/internal/parlay"
+	"pargeo/internal/wal"
 )
 
 // AutoShards, passed as Options.Shards, selects one shard per GOMAXPROCS
@@ -55,6 +56,13 @@ type Options struct {
 	// load exceeds RebalanceFactor times the shard average
 	// (0 = DefaultRebalanceFactor).
 	RebalanceFactor float64
+	// Durability, when non-nil, makes the engine durable: committed
+	// batches are written ahead to a segmented, CRC-framed log and
+	// checkpoints capture the full state, so Open recovers everything
+	// acknowledged before a crash. See the Durability type and the
+	// package documentation's durability section. Construct durable
+	// engines with Open (New panics on a recovery error).
+	Durability *Durability
 }
 
 // Rebalancer defaults (Options.RebalanceInterval / RebalanceFactor).
@@ -75,6 +83,14 @@ type UpdateResult struct {
 	Deleted int
 	// Epoch is the epoch of the snapshot that made this update visible.
 	Epoch uint64
+	// Err is non-nil when the update was not durably committed: ErrClosed
+	// for updates submitted after Close on a durable engine, or the WAL's
+	// sticky write/sync error. When the failed step was the WAL append,
+	// the update was not applied at all; when it was the post-publish
+	// fsync wait, the update is visible in memory but its durability is
+	// unknown (the engine is fail-stopped either way). Always nil on a
+	// non-durable engine.
+	Err error
 }
 
 type updateReq struct {
@@ -254,7 +270,22 @@ type Engine struct {
 	noopStreak atomic.Int32
 	skipPasses atomic.Int32
 	stop       chan struct{}
+	rebalDone  chan struct{}
 	closeOnce  sync.Once
+
+	// Durability plumbing (all zero on a non-durable engine): the WAL,
+	// its backing VFS and directory, shutdown coordination (closed gate +
+	// in-flight update drain), and the automatic checkpoint trigger.
+	log       *wal.Log
+	durFS     wal.VFS
+	durDir    string
+	dur       Durability
+	closed    atomic.Bool
+	closeMu   sync.RWMutex
+	ckptMu    sync.Mutex
+	ckptWG    sync.WaitGroup
+	ckptBusy  atomic.Bool
+	sinceCkpt atomic.Int64
 
 	// publishMu guards the snapshot swap (phase two of every commit): an
 	// O(S) vector copy plus one atomic store, so the serialized section of
@@ -285,8 +316,21 @@ func (e *Engine) knnPool(k int) *kdtree.BufferPool {
 }
 
 // New returns an engine serving dim-dimensional points, publishing an empty
-// epoch-0 snapshot.
+// epoch-0 snapshot. With Options.Durability set it recovers durable state
+// exactly like Open, but panics on a recovery error; use Open to handle
+// recovery failures.
 func New(dim int, opts Options) *Engine {
+	e, err := Open(dim, opts)
+	if err != nil {
+		panic("engine: " + err.Error())
+	}
+	return e
+}
+
+// newEngine builds the in-memory engine shell: options normalized, shards
+// allocated, empty epoch-0 snapshot published, no background rebalancer
+// yet (Open starts it after any recovery).
+func newEngine(dim int, opts Options) *Engine {
 	ns := opts.Shards
 	if ns == AutoShards {
 		ns = runtime.GOMAXPROCS(0)
@@ -309,22 +353,50 @@ func New(dim int, opts Options) *Engine {
 		e.shards[i] = &shard{}
 	}
 	e.snap.Store(&Snapshot{trees: []*bdltree.Tree{e.newTree()}})
-	if opts.Rebalance && ns > 1 {
-		e.stop = make(chan struct{})
-		go e.rebalanceLoop()
-	}
 	return e
 }
 
-// Close stops the background rebalancer, if one was started. The engine
-// keeps serving queries and updates after Close; only the automatic
-// repartitioning stops. Safe to call multiple times.
-func (e *Engine) Close() {
+// startRebalancer starts the background rebalance loop when configured.
+func (e *Engine) startRebalancer() {
+	if e.opts.Rebalance && e.nshard > 1 {
+		e.stop = make(chan struct{})
+		e.rebalDone = make(chan struct{})
+		go func() {
+			defer close(e.rebalDone)
+			e.rebalanceLoop()
+		}()
+	}
+}
+
+// Close shuts the engine down. On a durable engine it rejects new
+// updates (UpdateResult.Err = ErrClosed), waits for every in-flight
+// update to commit and acknowledge, stops the rebalancer and any
+// background checkpoint, and closes the WAL with a final fsync — so a
+// clean shutdown leaves no torn tail and loses nothing acknowledged,
+// even in relaxed SyncEvery>1 mode. Queries keep serving from the last
+// snapshot. On a non-durable engine Close only stops the background
+// rebalancer and the engine keeps accepting updates (the pre-durability
+// contract). Safe to call multiple times; later calls return nil.
+func (e *Engine) Close() error {
+	var err error
 	e.closeOnce.Do(func() {
+		if e.log != nil {
+			e.closed.Store(true)
+			// Taking the close lock exclusively waits out every in-flight
+			// update (each holds it shared across its whole commit).
+			e.closeMu.Lock()
+			e.closeMu.Unlock() //nolint:staticcheck // empty critical section is the drain
+		}
 		if e.stop != nil {
 			close(e.stop)
+			<-e.rebalDone
+		}
+		if e.log != nil {
+			e.ckptWG.Wait()
+			err = e.log.Close()
 		}
 	})
+	return err
 }
 
 func (e *Engine) newTree() *bdltree.Tree {
@@ -361,6 +433,18 @@ func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 	}
 	if del.Len() > 0 && del.Dim != e.dim {
 		panic("engine: delete batch dimension mismatch")
+	}
+	if e.log != nil {
+		// The shared close lock is taken BEFORE the closed check and held
+		// for the whole commit: Close sets closed and then takes the lock
+		// exclusively, so an update that passed the check finishes (and
+		// reaches the WAL) before the log closes, and one that didn't is
+		// rejected before touching anything.
+		e.closeMu.RLock()
+		defer e.closeMu.RUnlock()
+		if e.closed.Load() {
+			return UpdateResult{Err: ErrClosed}
+		}
 	}
 	req := &updateReq{ins: insert, del: del, done: make(chan struct{}), lead: make(chan struct{})}
 	if n := insert.Len(); n > 0 {
@@ -476,10 +560,12 @@ func (e *Engine) noteDrift(part *partition, group []*updateReq) {
 	}
 }
 
-// finish publishes each request's result and releases its waiter.
-func finish(group []*updateReq, perDeleted []int, epoch uint64) {
+// finish publishes each request's result and releases its waiter. A
+// non-nil err (failed durability wait) still reports ids and epoch: the
+// batch is visible in memory, but its durability is unknown.
+func finish(group []*updateReq, perDeleted []int, epoch uint64, err error) {
 	for i, r := range group {
-		r.res = UpdateResult{IDs: r.insIDs, Deleted: perDeleted[i], Epoch: epoch}
+		r.res = UpdateResult{IDs: r.insIDs, Deleted: perDeleted[i], Epoch: epoch, Err: err}
 		close(r.done)
 	}
 }
@@ -532,18 +618,27 @@ func (e *Engine) commitShard(s int, group []*updateReq) {
 		tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
 	}
 	epoch := old.epoch
+	var lsn uint64
 	// Publish only when the live set actually changed: a deletion batch that
 	// matched nothing (e.g. deletes against a still-empty engine) keeps the
 	// current epoch and tree version instead of publishing a no-op clone.
 	if len(insIDs) > 0 || deleted > 0 {
-		epoch = e.publish(func(vec []*bdltree.Tree) { vec[s] = tree })
+		var err error
+		epoch, lsn, err = e.publish(group, func(vec []*bdltree.Tree) { vec[s] = tree })
+		if err != nil {
+			sh.commitMu.Unlock()
+			failGroup(group, err)
+			return
+		}
 		sh.noteCommit(rows)
 		sh.sampleGroup(len(group), e.dim,
 			func(i int) geom.Points { return group[i].ins },
 			func(i int) geom.Points { return group[i].del })
 	}
 	sh.commitMu.Unlock()
-	finish(group, perDeleted, epoch)
+	// The durability wait happens OUTSIDE the shard lock: other shards'
+	// committers append and join the same group-commit fsync concurrently.
+	finish(group, perDeleted, epoch, e.waitDurable(lsn))
 }
 
 // commitGlobal commits one group from the global stream: multi-shard
@@ -588,14 +683,28 @@ func (e *Engine) commitFounding(group []*updateReq) {
 
 	// Publish snapshot and partition together; the partition pointer is
 	// stored after (and under the same lock as) the S-wide snapshot, so
-	// any writer that routes per-shard sees the S-wide vector.
+	// any writer that routes per-shard sees the S-wide vector. The WAL
+	// record is appended before the swap, under the same lock, so the
+	// durable epoch sequence matches the published one exactly.
 	e.publishMu.Lock()
 	cur := e.snap.Load()
-	next := &Snapshot{part: part, trees: trees, epoch: cur.epoch + 1, size: pool.Len()}
+	epoch := cur.epoch + 1
+	var lsn uint64
+	if e.log != nil {
+		var err error
+		lsn, err = e.appendCommit(epoch, group)
+		if err != nil {
+			e.publishMu.Unlock()
+			failGroup(group, err)
+			return
+		}
+	}
+	next := &Snapshot{part: part, trees: trees, epoch: epoch, size: pool.Len()}
 	e.snap.Store(next)
 	e.part.Store(part)
 	e.publishMu.Unlock()
-	finish(group, make([]int, len(group)), next.epoch)
+	e.noteWALCommit()
+	finish(group, make([]int, len(group)), epoch, e.waitDurable(lsn))
 }
 
 // shardedBuild is the shared bulk-construction step of the founding commit
@@ -682,7 +791,7 @@ retry:
 			}
 		}
 		if len(affected) == 0 {
-			finish(group, make([]int, nG), e.snap.Load().epoch)
+			finish(group, make([]int, nG), e.snap.Load().epoch, e.waitDurable(0))
 			return
 		}
 
@@ -740,6 +849,7 @@ retry:
 		parlay.Submit(thunks).Wait()
 
 		epoch := old.epoch
+		var lsn uint64
 		changed := false
 		for _, s := range affected {
 			if newTrees[s] != nil {
@@ -748,13 +858,21 @@ retry:
 			}
 		}
 		if changed {
-			epoch = e.publish(func(vec []*bdltree.Tree) {
+			var err error
+			epoch, lsn, err = e.publish(group, func(vec []*bdltree.Tree) {
 				for _, s := range affected {
 					if newTrees[s] != nil {
 						vec[s] = newTrees[s]
 					}
 				}
 			})
+			if err != nil {
+				for i := len(affected) - 1; i >= 0; i-- {
+					e.shards[affected[i]].commitMu.Unlock()
+				}
+				failGroup(group, err)
+				return
+			}
 			for _, s := range affected {
 				if newTrees[s] != nil {
 					e.shards[s].noteCommit(rowsShard[s])
@@ -770,7 +888,7 @@ retry:
 				perDeleted[i] += perDelShard[s][i]
 			}
 		}
-		finish(group, perDeleted, epoch)
+		finish(group, perDeleted, epoch, e.waitDurable(lsn))
 		return
 	}
 }
@@ -780,19 +898,38 @@ retry:
 // atomic store. Callers prepared their tree versions beforehand and hold
 // the commit locks of every slot they change, so concurrent publishes
 // never clobber each other's slots.
-func (e *Engine) publish(apply func(vec []*bdltree.Tree)) uint64 {
+//
+// On a durable engine the group's WAL record is appended first, under
+// the same lock — write-ahead: if the append fails, nothing is published
+// (the error is returned and the in-memory state is untouched), and the
+// durable epoch sequence always matches the published one. The returned
+// lsn (0 when nothing was logged) feeds waitDurable AFTER the caller
+// releases its shard locks, so fsync latency is paid outside every lock
+// and concurrent commits share flushes.
+func (e *Engine) publish(group []*updateReq, apply func(vec []*bdltree.Tree)) (uint64, uint64, error) {
 	e.publishMu.Lock()
 	cur := e.snap.Load()
+	epoch := cur.epoch + 1
+	var lsn uint64
+	if e.log != nil {
+		var err error
+		lsn, err = e.appendCommit(epoch, group)
+		if err != nil {
+			e.publishMu.Unlock()
+			return 0, 0, err
+		}
+	}
 	vec := append([]*bdltree.Tree(nil), cur.trees...)
 	apply(vec)
 	size := 0
 	for _, t := range vec {
 		size += t.Size()
 	}
-	next := &Snapshot{part: cur.part, trees: vec, epoch: cur.epoch + 1, size: size}
+	next := &Snapshot{part: cur.part, trees: vec, epoch: epoch, size: size}
 	e.snap.Store(next)
 	e.publishMu.Unlock()
-	return next.epoch
+	e.noteWALCommit()
+	return epoch, lsn, nil
 }
 
 // --- read path ----------------------------------------------------------

@@ -8,6 +8,7 @@ import (
 	"pargeo/internal/bdltree"
 	"pargeo/internal/geom"
 	"pargeo/internal/morton"
+	"pargeo/internal/wal"
 )
 
 // Online repartitioning. The founding commit's partition is a guess frozen
@@ -373,7 +374,9 @@ func (e *Engine) splitMergeLocked(snap *Snapshot, part *partition, scores, ewmas
 		newTrees[i] = sp.tree
 		size += sp.tree.Size()
 	}
-	e.swapPartition(newPartitionFromBounds(e.dim, part.world, newBounds), newTrees, size)
+	if !e.swapPartition(newPartitionFromBounds(e.dim, part.world, newBounds), newTrees, size) {
+		return RebalanceNone
+	}
 	for i, sp := range spans {
 		e.shards[i].load.Store(math.Float64bits(sp.ewma))
 	}
@@ -472,7 +475,9 @@ func (e *Engine) repartitionLocked(snap *Snapshot) bool {
 	for _, t := range trees {
 		size += t.Size()
 	}
-	e.swapPartition(part, trees, size)
+	if !e.swapPartition(part, trees, size) {
+		return false
+	}
 	e.outOfWorld.Store(0)
 	// The drifted mass now spreads over fresh ranges; keep the total write
 	// heat but spread it evenly, letting real commits re-concentrate it.
@@ -491,10 +496,24 @@ func (e *Engine) repartitionLocked(snap *Snapshot) bool {
 // lock. Caller holds every shard commit lock, so no commit's publish can
 // interleave and the routing pointer update cannot race a router that has
 // already validated under a held lock.
-func (e *Engine) swapPartition(part *partition, trees []*bdltree.Tree, size int) {
+//
+// A migration publishes an epoch without changing the live point set, so
+// on a durable engine it logs a data-free note record to keep the WAL's
+// epoch sequence gap-free. If the append fails (poisoned or closed log)
+// the migration is abandoned — returns false with the partition
+// untouched — keeping the in-memory epoch sequence aligned with the
+// durable one.
+func (e *Engine) swapPartition(part *partition, trees []*bdltree.Tree, size int) bool {
 	e.publishMu.Lock()
 	cur := e.snap.Load()
-	next := &Snapshot{part: part, trees: trees, epoch: cur.epoch + 1, size: size}
+	epoch := cur.epoch + 1
+	if e.log != nil {
+		if _, err := e.log.Append(wal.KindNote, epoch, nil); err != nil {
+			e.publishMu.Unlock()
+			return false
+		}
+	}
+	next := &Snapshot{part: part, trees: trees, epoch: epoch, size: size}
 	e.snap.Store(next)
 	e.part.Store(part)
 	e.publishMu.Unlock()
@@ -504,4 +523,5 @@ func (e *Engine) swapPartition(part *partition, trees []*bdltree.Tree, size int)
 	for _, sh := range e.shards {
 		sh.recentW = 0
 	}
+	return true
 }

@@ -1,0 +1,416 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Segment file layout: a 20-byte header ([8] magic "PGWAL001",
+// [8] firstEpoch, [4] CRC32-C of the first 16 bytes) followed by frames
+// (see record.go). firstEpoch is the epoch the first record appended to
+// this segment will carry; checkpoint pruning uses it to decide which
+// segments are dead without scanning them.
+const (
+	segMagic      = "PGWAL001"
+	segHeaderSize = 20
+	segSuffix     = ".seg"
+	segPrefix     = "wal-"
+)
+
+// LogOptions tunes a Log.
+type LogOptions struct {
+	// SegmentSize is the byte threshold past which the next append
+	// rotates to a fresh segment. <=0 means 4 MiB.
+	SegmentSize int
+	// SyncEvery selects the durability mode. 1 (or 0): every WaitDurable
+	// joins a group-commit fsync and acked means durable. K>1: appends
+	// are acked without waiting and the log fsyncs inline every K
+	// records, so a crash can lose up to the last K-1 acked records
+	// (prefix durability to the most recent sync).
+	SyncEvery int
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is a segmented append-only record log. One goroutine's Append is
+// serialized against every other's by an internal mutex; WaitDurable
+// implements group commit — concurrent waiters elect one fsync-er whose
+// single Sync covers every record appended before it started, so
+// parallel single-shard commits don't serialize on the disk.
+//
+// Any write or sync error poisons the log: the error is sticky and every
+// subsequent operation fails with it. A poisoned log's durable state is
+// unknown past the last successful sync, and fail-stop is the only
+// answer consistent with "acked means durable".
+type Log struct {
+	fs   VFS
+	dir  string
+	dim  int
+	opts LogOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	file      File   // active segment
+	seq       uint64 // active segment sequence number
+	size      int    // bytes written to active segment
+	appendLSN uint64 // records appended so far
+	syncedLSN uint64 // records known durable
+	syncing   bool   // a group-commit fsync is in flight
+	sinceSync int    // records since last sync (SyncEvery>1 mode)
+	err       error  // sticky poison
+	closed    bool
+
+	buf []byte // frame assembly scratch, reused across appends
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 16, 64)
+	return seq, err == nil
+}
+
+func segHeader(firstEpoch uint64) []byte {
+	h := make([]byte, 0, segHeaderSize)
+	h = append(h, segMagic...)
+	h = binary.LittleEndian.AppendUint64(h, firstEpoch)
+	return binary.LittleEndian.AppendUint32(h, crc32.Checksum(h, crcTable))
+}
+
+func parseSegHeader(b []byte) (firstEpoch uint64, ok bool) {
+	if len(b) < segHeaderSize || string(b[:8]) != segMagic {
+		return 0, false
+	}
+	if crc32.Checksum(b[:16], crcTable) != binary.LittleEndian.Uint32(b[16:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(b[8:]), true
+}
+
+// listSegments returns the directory's segment sequence numbers, ascending.
+func listSegments(fs VFS, dir string) ([]uint64, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// OpenLog opens the log in dir for appending, starting a fresh segment
+// after any existing ones (recovery has already scanned those; a fresh
+// segment means a torn tail left by the crash can never be appended
+// into). nextEpoch is the epoch the first appended record will carry.
+func OpenLog(fs VFS, dir string, dim int, opts LogOptions, nextEpoch uint64) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 4 << 20
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 1
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	seqs, err := listSegments(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	var seq uint64 = 1
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+		// A crash during rotation can leave a final segment whose header
+		// never became durable. The recovery scan tolerates it only in
+		// last position — remove it now, or it would sit in the middle of
+		// the sequence once this log appends segments after it and poison
+		// every later recovery.
+		last := join(dir, segName(seqs[len(seqs)-1]))
+		b, err := fs.ReadFile(last)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := parseSegHeader(b); !ok {
+			if err := fs.Remove(last); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l := &Log{fs: fs, dir: dir, dim: dim, opts: opts, seq: seq}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.startSegment(seq, nextEpoch); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// startSegment creates and initializes segment seq. Caller holds mu (or
+// is the constructor).
+func (l *Log) startSegment(seq uint64, firstEpoch uint64) error {
+	f, err := l.fs.Create(join(l.dir, segName(seq)))
+	if err != nil {
+		return err
+	}
+	h := segHeader(firstEpoch)
+	if _, err := f.Write(h); err != nil {
+		f.Close()
+		return err
+	}
+	l.file = f
+	l.seq = seq
+	l.size = len(h)
+	return nil
+}
+
+// Append frames and writes one record, returning its LSN for WaitDurable.
+// The caller is expected to append records with strictly consecutive
+// epochs; replay validates that chain. In SyncEvery>1 mode the append
+// fsyncs inline once enough records have accumulated.
+func (l *Log) Append(kind byte, epoch uint64, body []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.size >= l.opts.SegmentSize {
+		if err := l.rotateLocked(epoch); err != nil {
+			return 0, err
+		}
+	}
+	l.buf = appendFrame(l.buf[:0], kind, epoch, body)
+	if _, err := l.file.Write(l.buf); err != nil {
+		return 0, l.poison(err)
+	}
+	l.size += len(l.buf)
+	l.appendLSN++
+	lsn := l.appendLSN
+	if l.opts.SyncEvery > 1 {
+		l.sinceSync++
+		if l.sinceSync >= l.opts.SyncEvery {
+			if err := l.file.Sync(); err != nil {
+				return 0, l.poison(err)
+			}
+			l.syncedLSN = l.appendLSN
+			l.sinceSync = 0
+		}
+	}
+	return lsn, nil
+}
+
+// WaitDurable blocks until the record at lsn is durable, electing a
+// group-commit fsync-er as needed. In SyncEvery>1 mode it returns
+// immediately: relaxed-durability callers ack without waiting.
+func (l *Log) WaitDurable(lsn uint64) error {
+	if l.opts.SyncEvery > 1 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.syncedLSN >= lsn {
+			return nil
+		}
+		if l.err != nil {
+			return l.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.syncing {
+			// Someone else's fsync is in flight; it may or may not
+			// cover lsn. Wait and re-check.
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		target := l.appendLSN // everything written before this Sync starts
+		f := l.file
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.poison(err)
+		} else if l.syncedLSN < target {
+			l.syncedLSN = target
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// rotateLocked syncs and closes the active segment and starts the next.
+// Rotation never strands un-durable acked records: the old segment is
+// fsynced before it is abandoned. Caller holds mu.
+func (l *Log) rotateLocked(nextEpoch uint64) error {
+	// A group-commit fsync may be in flight on the file we are about to
+	// close; wait it out (the fsync-er broadcasts on completion).
+	for l.syncing {
+		l.cond.Wait()
+		if l.err != nil {
+			return l.err
+		}
+	}
+	if err := l.file.Sync(); err != nil {
+		return l.poison(err)
+	}
+	l.syncedLSN = l.appendLSN
+	l.sinceSync = 0
+	l.file.Close()
+	if err := l.startSegment(l.seq+1, nextEpoch); err != nil {
+		return l.poison(err)
+	}
+	l.cond.Broadcast()
+	return nil
+}
+
+// poison records the sticky error and wakes waiters. Caller holds mu.
+func (l *Log) poison(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+	return l.err
+}
+
+// Err returns the log's sticky poison error, or nil while the log is
+// healthy. Callers use it to fail-stop paths that would otherwise not
+// touch the log at all (e.g. commits that changed nothing).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// PrunePast deletes every segment whose records are fully covered by a
+// checkpoint at ckptEpoch: segment k is dead when the next segment's
+// firstEpoch is ≤ ckptEpoch+1, i.e. replay-from-checkpoint can start at
+// k+1 without a gap. A crash mid-prune just leaves dead segments behind;
+// they are harmless to replay and the next prune removes them.
+func (l *Log) PrunePast(ckptEpoch uint64) error {
+	l.mu.Lock()
+	if l.err != nil {
+		l.mu.Unlock()
+		return l.err
+	}
+	l.mu.Unlock()
+	seqs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(seqs); i++ {
+		b, err := l.fs.ReadFile(join(l.dir, segName(seqs[i+1])))
+		if err != nil {
+			return err
+		}
+		next, ok := parseSegHeader(b)
+		if !ok || next > ckptEpoch+1 {
+			break
+		}
+		if err := l.fs.Remove(join(l.dir, segName(seqs[i]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close fsyncs the active segment (so a clean shutdown is durable even
+// in relaxed mode) and closes the log. Appends after Close fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	for l.syncing {
+		l.cond.Wait()
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	if l.err != nil {
+		l.file.Close()
+		return l.err
+	}
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return l.poison(err)
+	}
+	l.syncedLSN = l.appendLSN
+	l.file.Close()
+	return nil
+}
+
+// ScanLog reads every segment in dir and returns the decoded records
+// with epoch > afterEpoch, in epoch order. It enforces the replay
+// invariants:
+//
+//   - Within each segment, frames are decoded until the first invalid
+//     frame; the rest of that segment is a torn tail (a crash mid-append,
+//     or mid-rotation) and is discarded.
+//   - Across the whole scan, record epochs must be strictly consecutive,
+//     and the first record must have epoch ≤ afterEpoch+1. Any gap means
+//     a segment that was pruned or lost while still needed — that is data
+//     loss, and ScanLog fails loudly rather than silently resurrecting a
+//     partial history.
+//
+// A segment with a missing or corrupt header is tolerated only as the
+// final segment (a crash during rotation); earlier ones fail the scan.
+func ScanLog(fs VFS, dir string, dim int, afterEpoch uint64) ([]Record, error) {
+	seqs, err := listSegments(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	prevEpoch := afterEpoch // chain anchor once the first kept record arrives
+	chainStarted := false
+	for i, seq := range seqs {
+		b, err := fs.ReadFile(join(dir, segName(seq)))
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := parseSegHeader(b); !ok {
+			if i == len(seqs)-1 {
+				break // torn rotation: header never became durable
+			}
+			return nil, fmt.Errorf("%w: segment %016x: bad header", ErrCorrupt, seq)
+		}
+		off := segHeaderSize
+		for off < len(b) {
+			rec, n, err := DecodeRecord(b[off:], dim)
+			if err != nil {
+				break // torn tail of this segment
+			}
+			off += n
+			if !chainStarted {
+				if rec.Epoch > afterEpoch+1 {
+					return nil, fmt.Errorf("%w: log starts at epoch %d, need %d", ErrCorrupt, rec.Epoch, afterEpoch+1)
+				}
+			} else if rec.Epoch != prevEpoch+1 {
+				return nil, fmt.Errorf("%w: epoch gap: %d after %d", ErrCorrupt, rec.Epoch, prevEpoch)
+			}
+			chainStarted = true
+			prevEpoch = rec.Epoch
+			if rec.Epoch > afterEpoch {
+				recs = append(recs, rec)
+			}
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrash is returned by every MemFS operation at and after an injected
+// crash point: to the code under test it looks like the machine lost
+// power mid-operation.
+var ErrCrash = errors.New("wal: injected crash")
+
+// MemFS is a deterministic in-memory VFS with fault injection — the test
+// half of the durability design. It tracks, per file, how much of the
+// data has been made durable by Sync, counts every fallible operation
+// (Create, Write, Sync, Rename, Remove), and can be armed to crash at
+// exactly the Nth such operation, optionally applying only a torn prefix
+// of the crashing write. After the crash point every operation fails
+// with ErrCrash; CrashImage then produces the file system a rebooted
+// process would find, in either of the two adversarial limits (all
+// unsynced data retained, or all of it lost).
+//
+// The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	ops     int // fallible operations performed so far
+	crashAt int // crash when ops reaches this value; 0 = never
+	torn    bool
+	crashed bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // prefix length guaranteed durable
+	closed bool
+}
+
+// NewMemFS returns an empty in-memory file system with no crash armed.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+// SetCrash arms a crash at the op-th fallible operation from now
+// (1-based: SetCrash(1, ...) fails the very next one). If torn is set
+// and the crashing operation is a write, the first half of its bytes
+// are applied (unsynced) before the failure — a torn write.
+func (fs *MemFS) SetCrash(op int, torn bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = fs.ops + op
+	fs.torn = torn
+}
+
+// Ops returns the number of fallible operations performed so far —
+// the size of the crash-point enumeration space for a given workload.
+func (fs *MemFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the armed crash point was reached.
+func (fs *MemFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// CrashImage returns a fresh MemFS holding what a rebooted process could
+// find on disk. With dropUnsynced, every file is truncated to its last
+// synced length (the adversarial limit where the page cache lost
+// everything); otherwise all written data survived (the lucky limit).
+// Any real crash outcome lies between the two, and a correct recovery
+// procedure must handle both — plus the torn final write SetCrash can
+// leave in either image.
+func (fs *MemFS) CrashImage(dropUnsynced bool) *MemFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	img := NewMemFS()
+	for d := range fs.dirs {
+		img.dirs[d] = true
+	}
+	for name, f := range fs.files {
+		n := len(f.data)
+		if dropUnsynced {
+			n = f.synced
+		}
+		data := append([]byte(nil), f.data[:n]...)
+		img.files[name] = &memFile{data: data, synced: len(data)}
+	}
+	return img
+}
+
+// step counts one fallible operation and reports whether it must crash.
+// Caller holds fs.mu.
+func (fs *MemFS) step() bool {
+	if fs.crashed {
+		return true
+	}
+	fs.ops++
+	if fs.crashAt > 0 && fs.ops >= fs.crashAt {
+		fs.crashed = true
+		return true
+	}
+	return false
+}
+
+// MkdirAll implements VFS. Directory creation is metadata-only and not a
+// crash point (the WAL creates its directory once, before any durability
+// promise exists).
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrash
+	}
+	fs.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+// Create implements VFS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.step() {
+		return nil, ErrCrash
+	}
+	f := &memFile{}
+	fs.files[filepath.Clean(name)] = f
+	return &memHandle{fs: fs, f: f}, nil
+}
+
+// ReadFile implements VFS.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrash
+	}
+	f, ok := fs.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("wal: memfs: %s: no such file", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ReadDir implements VFS.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrash
+	}
+	prefix := filepath.Clean(dir) + string(filepath.Separator)
+	var names []string
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			rest := name[len(prefix):]
+			if !strings.ContainsRune(rest, filepath.Separator) {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements VFS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.step() {
+		return ErrCrash
+	}
+	o := filepath.Clean(oldname)
+	f, ok := fs.files[o]
+	if !ok {
+		return fmt.Errorf("wal: memfs: %s: no such file", oldname)
+	}
+	delete(fs.files, o)
+	fs.files[filepath.Clean(newname)] = f
+	return nil
+}
+
+// Remove implements VFS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.step() {
+		return ErrCrash
+	}
+	n := filepath.Clean(name)
+	if _, ok := fs.files[n]; !ok {
+		return fmt.Errorf("wal: memfs: %s: no such file", name)
+	}
+	delete(fs.files, n)
+	return nil
+}
+
+// memHandle is a writable handle into a MemFS file.
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+// Write implements File. A crashing write applies a torn prefix (half of
+// p, unsynced) when the crash was armed torn, else nothing.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	already := h.fs.crashed
+	if h.fs.step() {
+		// Only the write that hits the crash point tears; operations after
+		// the crash touch nothing (the machine is off).
+		if h.fs.torn && !already && !h.f.closed {
+			h.f.data = append(h.f.data, p[:len(p)/2]...)
+		}
+		return 0, ErrCrash
+	}
+	if h.f.closed {
+		return 0, errors.New("wal: memfs: write on closed file")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// Sync implements File.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.step() {
+		return ErrCrash
+	}
+	if h.f.closed {
+		return errors.New("wal: memfs: sync on closed file")
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close implements File. Closing is not a crash point: it makes no
+// durability promise.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.closed = true
+	return nil
+}

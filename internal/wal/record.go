@@ -1,0 +1,220 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"pargeo/internal/geom"
+)
+
+// Record kinds. A commit record carries one published engine epoch's worth
+// of data — every delete batch (in request order) followed by the combined
+// insert batch of the commit group. A note record carries no data: it
+// exists so that epochs published without data (the rebalancer swapping
+// partitions) still appear in the log, keeping replay's epoch-contiguity
+// check tight.
+const (
+	KindCommit = 1
+	KindNote   = 2
+)
+
+// Frame layout, little-endian:
+//
+//	[4] payload length
+//	[4] CRC32 (Castagnoli) of payload
+//	payload:
+//	  [1] kind
+//	  [8] epoch
+//	  body (kind-specific, may be empty)
+//
+// Commit body:
+//
+//	[4] ndel
+//	ndel × { [4] rows, rows*dim*[8] coords }
+//	[4] nins
+//	nins × [4] id
+//	nins × dim × [8] coords
+//
+// dim is not stored per record; it is a property of the log's directory
+// (recorded in every checkpoint) and passed to the decoder.
+const (
+	frameHeaderSize = 8
+	payloadMinSize  = 9 // kind + epoch
+
+	// maxRecordSize bounds a single frame's payload. Decoders reject
+	// larger length prefixes before allocating, so a corrupt length
+	// cannot trigger a huge allocation. 1 GiB comfortably exceeds any
+	// real commit group.
+	maxRecordSize = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a structurally invalid frame or payload. Replay
+// treats a corrupt frame at the tail of the last segment as a torn write
+// and discards it; anywhere else it is data loss and recovery fails loudly.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Record is a decoded WAL record.
+type Record struct {
+	Kind  byte
+	Epoch uint64
+
+	// KindCommit only.
+	Dels []geom.Points // delete batches, request order
+	Ins  geom.Points   // combined insert batch
+	IDs  []int32       // ids parallel to Ins rows
+}
+
+// AppendCommitBody appends a commit record body for the given batches to
+// dst and returns the extended slice. All batches must share dim; ids is
+// parallel to ins rows.
+func AppendCommitBody(dst []byte, dels []geom.Points, ins geom.Points, ids []int32) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(dels)))
+	for _, d := range dels {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Len()))
+		dst = appendCoords(dst, d.Data)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ids)))
+	for _, id := range ids {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	dst = appendCoords(dst, ins.Data)
+	return dst
+}
+
+func appendCoords(dst []byte, data []float64) []byte {
+	for _, v := range data {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// appendFrame appends a complete CRC-framed record to dst.
+func appendFrame(dst []byte, kind byte, epoch uint64, body []byte) []byte {
+	n := payloadMinSize + len(body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	// CRC over the payload; reserve the slot, fill after assembling.
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	payloadAt := len(dst)
+	dst = append(dst, kind)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = append(dst, body...)
+	crc := crc32.Checksum(dst[payloadAt:], crcTable)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
+	return dst
+}
+
+// DecodeRecord decodes one frame from the front of buf, returning the
+// record and the number of bytes consumed. Any structural problem —
+// truncated frame, oversized length, CRC mismatch, unknown kind, or a
+// body that doesn't parse exactly — returns ErrCorrupt with consumed 0;
+// the function never reads past len(buf) and never returns a record
+// whose CRC did not verify.
+func DecodeRecord(buf []byte, dim int) (rec Record, consumed int, err error) {
+	if dim <= 0 || dim > maxCkptDim {
+		return Record{}, 0, fmt.Errorf("%w: implausible dim %d", ErrCorrupt, dim)
+	}
+	if len(buf) < frameHeaderSize {
+		return Record{}, 0, fmt.Errorf("%w: short frame header", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n < payloadMinSize || n > maxRecordSize {
+		return Record{}, 0, fmt.Errorf("%w: bad payload length %d", ErrCorrupt, n)
+	}
+	if uint64(len(buf)-frameHeaderSize) < uint64(n) {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[4:])
+	payload := buf[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	rec.Kind = payload[0]
+	rec.Epoch = binary.LittleEndian.Uint64(payload[1:])
+	body := payload[payloadMinSize:]
+	switch rec.Kind {
+	case KindNote:
+		if len(body) != 0 {
+			return Record{}, 0, fmt.Errorf("%w: note record with body", ErrCorrupt)
+		}
+	case KindCommit:
+		if err := decodeCommitBody(&rec, body, dim); err != nil {
+			return Record{}, 0, err
+		}
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, rec.Kind)
+	}
+	return rec, frameHeaderSize + int(n), nil
+}
+
+// decodeCommitBody parses a commit body. Every length is validated
+// against the remaining bytes before any allocation is sized from it, so
+// corrupt (but CRC-colliding, e.g. fuzz-generated) input cannot cause
+// over-reads or unbounded allocation.
+func decodeCommitBody(rec *Record, body []byte, dim int) error {
+	rowBytes := dim * 8
+	off := 0
+	u32 := func() (uint32, bool) {
+		if len(body)-off < 4 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		return v, true
+	}
+	ndel, ok := u32()
+	if !ok {
+		return fmt.Errorf("%w: commit body: missing ndel", ErrCorrupt)
+	}
+	// Each delete batch needs ≥4 bytes; reject counts the body can't hold.
+	if uint64(ndel) > uint64(len(body)-off)/4 {
+		return fmt.Errorf("%w: commit body: ndel %d too large", ErrCorrupt, ndel)
+	}
+	rec.Dels = make([]geom.Points, 0, ndel)
+	for i := uint32(0); i < ndel; i++ {
+		rows, ok := u32()
+		if !ok {
+			return fmt.Errorf("%w: commit body: missing delete rows", ErrCorrupt)
+		}
+		if uint64(rows)*uint64(rowBytes) > uint64(len(body)-off) {
+			return fmt.Errorf("%w: commit body: delete batch overruns", ErrCorrupt)
+		}
+		data, n := decodeCoords(body[off:], int(rows)*dim)
+		off += n
+		rec.Dels = append(rec.Dels, geom.Points{Data: data, Dim: dim})
+	}
+	nins, ok := u32()
+	if !ok {
+		return fmt.Errorf("%w: commit body: missing nins", ErrCorrupt)
+	}
+	if uint64(nins)*uint64(4+rowBytes) > uint64(len(body)-off) {
+		return fmt.Errorf("%w: commit body: nins %d too large", ErrCorrupt, nins)
+	}
+	rec.IDs = make([]int32, nins)
+	for i := range rec.IDs {
+		v, _ := u32() // bounded by the nins check above
+		rec.IDs[i] = int32(v)
+	}
+	data, n := decodeCoords(body[off:], int(nins)*dim)
+	off += n
+	rec.Ins = geom.Points{Data: data, Dim: dim}
+	if off != len(body) {
+		return fmt.Errorf("%w: commit body: %d trailing bytes", ErrCorrupt, len(body)-off)
+	}
+	return nil
+}
+
+// decodeCoords decodes count float64s from buf (caller has validated the
+// length) and returns them with the byte count consumed.
+func decodeCoords(buf []byte, count int) ([]float64, int) {
+	data := make([]float64, count)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return data, count * 8
+}

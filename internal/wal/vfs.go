@@ -1,0 +1,92 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// VFS is the file-system surface the WAL and the checkpointer touch —
+// deliberately tiny, so a test can substitute a deterministic in-memory
+// implementation (MemFS) and fail or truncate the Nth operation. Every
+// durability decision in this package is phrased against this interface:
+// if a sequence of VFS calls recovers correctly under MemFS's crash
+// images, the same sequence against OSFS is correct on any file system
+// with POSIX write/fsync/atomic-rename semantics.
+//
+// Semantics required of an implementation:
+//
+//   - Create truncates; writes append to the created handle.
+//   - Data written to a File is volatile until Sync returns; a crash may
+//     retain any prefix of the unsynced suffix (including a torn final
+//     write).
+//   - Rename is atomic: after a crash the name refers to either the old
+//     or the new file, never a mixture. Metadata operations (Create,
+//     Rename, Remove) are treated as durable once they return, which is
+//     what journaled file systems give the standard
+//     write-sync-rename pattern.
+type VFS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// ReadFile returns the named file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+}
+
+// File is a writable file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes everything written so far durable.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production VFS: the operating system's file system.
+type OSFS struct{}
+
+// MkdirAll implements VFS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements VFS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFile implements VFS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements VFS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements VFS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements VFS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// join builds a VFS path. OSFS paths use the host separator; MemFS keys
+// by the joined string, so as long as both sides of a test use join the
+// representations agree.
+func join(dir, name string) string { return filepath.Join(dir, name) }

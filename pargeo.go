@@ -171,12 +171,43 @@ const AutoShards = engine.AutoShards
 // set; query it directly for multi-query consistency.
 type EngineSnapshot = engine.Snapshot
 
-// UpdateResult reports a committed Engine update.
+// UpdateResult reports a committed Engine update. Check Err on durable
+// engines: it is ErrEngineClosed for updates submitted after Close, or a
+// write-ahead-log error when durability could not be guaranteed.
 type UpdateResult = engine.UpdateResult
+
+// Durability configures an Engine's write-ahead log and checkpointing
+// (EngineOptions.Durability): committed batches are appended to a
+// segmented CRC-framed WAL before they are published, checkpoints
+// capture the full state and truncate dead log segments, and OpenEngine
+// recovers everything acknowledged before a crash. SyncEvery=1 (the
+// default) acknowledges only after fsync; SyncEvery=K>1 trades the last
+// ≤K-1 batches on power loss for commit throughput.
+type Durability = engine.Durability
+
+// ErrEngineClosed is reported (via UpdateResult.Err) for updates
+// submitted to a durable Engine after Close.
+var ErrEngineClosed = engine.ErrClosed
 
 // NewEngine returns a concurrent query engine serving dim-dimensional
 // points, starting from an empty epoch-0 snapshot.
 func NewEngine(dim int, opts EngineOptions) *Engine { return engine.New(dim, opts) }
+
+// OpenEngine opens a durable engine rooted at dir: it recovers the
+// state a previous process made durable there (latest valid checkpoint
+// plus write-ahead-log replay, discarding any torn tail), then serves
+// and logs new updates. A fresh directory starts empty. Close the
+// engine to flush and release the log; opts.Durability, if non-nil,
+// supplies tuning (its Dir is overridden by dir).
+func OpenEngine(dir string, dim int, opts EngineOptions) (*Engine, error) {
+	d := Durability{}
+	if opts.Durability != nil {
+		d = *opts.Durability
+	}
+	d.Dir = dir
+	opts.Durability = &d
+	return engine.Open(dim, opts)
+}
 
 // --- convex hull (§3) -----------------------------------------------------
 
