@@ -1,0 +1,548 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pargeo/internal/engine"
+	"pargeo/internal/geom"
+	"pargeo/internal/wire"
+)
+
+// Points and Box are the coordinate types shared with the pargeo facade
+// (pargeo.Points / pargeo.Box are the same aliases).
+type (
+	Points = geom.Points
+	Box    = geom.Box
+)
+
+// UpdateResult is the engine's update acknowledgement, identical to the
+// embedded engine's — code written against pargeo.Engine.Update reads a
+// remote result the same way.
+type UpdateResult = engine.UpdateResult
+
+// ErrEngineClosed reports that the server's engine rejected the call
+// because it is shut down or shutting down. It is the same value as the
+// embedded engine's ErrClosed, so one errors.Is target covers both
+// embedded and remote use.
+var ErrEngineClosed = engine.ErrClosed
+
+// ErrConnClosed reports that the client's connection is gone: Close was
+// called, the stream broke, or the server dropped it. The sticky stream
+// error (when there is one) is wrapped alongside.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// RemoteError is a server-side failure that is not the closed state:
+// the message is the remote error's text.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "pargeo server: " + e.Msg }
+
+// Options configure a Client.
+type Options struct {
+	// NoBatch disables call coalescing: every call becomes its own wire
+	// request. The connection is still shared and pipelined. Exists for
+	// measurement (the serve benchmark's unbatched arm) and debugging.
+	NoBatch bool
+}
+
+// batch classes for the combiner.
+const (
+	classRaw    = iota // pre-built request, never merged
+	classKNN           // solo k-NN query: mergeable by k
+	classInsert        // insert-only update: mergeable
+)
+
+// call is one in-flight API call parked on the combiner.
+type call struct {
+	class int
+	k     int       // classKNN
+	q     []float64 // classKNN
+	ins   Points    // classInsert
+	req   *wire.Request
+
+	done chan struct{}
+	lead chan struct{} // combiner baton
+
+	// Results, valid after done closes.
+	resp wire.Response
+	ids  []int32 // classKNN / classInsert member share
+	err  error
+}
+
+// Client is one connection to a pargeo-serve daemon. All methods are
+// safe for concurrent use by any number of goroutines; see the package
+// documentation for the batching semantics.
+type Client struct {
+	conn   net.Conn
+	opts   Options
+	dim    int
+	shards int
+
+	// Write side: the flat-combining batcher (doc.go).
+	bmu      sync.Mutex
+	bpending []*call
+	bactive  bool
+
+	// Read side: in-flight requests by id, completed by the reader
+	// goroutine. A handler distributes one response to its calls.
+	pmu     sync.Mutex
+	pending map[uint64]func(*wire.Response, error)
+	nextID  uint64
+	sticky  error // set once the stream is unusable; guarded by pmu
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a pargeo-serve daemon, performs the Hello handshake
+// (learning the engine's dimension and shard count), and starts the
+// response reader.
+func Dial(addr string) (*Client, error) { return DialWith(addr, Options{}) }
+
+// DialWith is Dial with explicit options.
+func DialWith(addr string, opts Options) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:       conn,
+		opts:       opts,
+		pending:    map[uint64]func(*wire.Response, error){},
+		readerDone: make(chan struct{}),
+	}
+	// Handshake runs synchronously, before the reader exists: id 0 is
+	// reserved for it and the first frame back must answer it.
+	hello := wire.AppendRequest(nil, &wire.Request{Op: wire.OpHello})
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	buf, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	// The Hello response carries no coordinates; dim 1 satisfies the
+	// decoder before the real dimension is known.
+	resp, _, err := wire.DecodeResponse(buf, 1)
+	if err != nil || resp.Op != wire.OpHello || resp.ID != 0 {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: bad response (%v)", err)
+	}
+	if err := respErr(&resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Dim < 1 {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake: server dim %d", resp.Dim)
+	}
+	c.dim = int(resp.Dim)
+	c.shards = int(resp.Shards)
+	go c.readLoop()
+	return c, nil
+}
+
+// Dim returns the server engine's point dimensionality.
+func (c *Client) Dim() int { return c.dim }
+
+// Shards returns the server engine's shard count.
+func (c *Client) Shards() int { return c.shards }
+
+// Close tears the connection down. In-flight calls fail with
+// ErrConnClosed. Closing an already-closed client is a no-op.
+func (c *Client) Close() error {
+	c.fail(ErrConnClosed)
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// respErr maps a response status to the client's typed errors.
+func respErr(r *wire.Response) error {
+	switch r.Status {
+	case wire.StatusOK:
+		return nil
+	case wire.StatusClosed:
+		return ErrEngineClosed
+	default:
+		return &RemoteError{Msg: r.ErrMsg}
+	}
+}
+
+// fail poisons the client: future and in-flight calls all resolve with
+// err (wrapped under ErrConnClosed when it isn't the sticky value
+// already). First caller wins; later errors are ignored.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.sticky != nil {
+		c.pmu.Unlock()
+		return
+	}
+	if err != ErrConnClosed {
+		err = fmt.Errorf("%w: %w", ErrConnClosed, err)
+	}
+	c.sticky = err
+	handlers := c.pending
+	c.pending = map[uint64]func(*wire.Response, error){}
+	c.pmu.Unlock()
+	for _, h := range handlers {
+		h(nil, err)
+	}
+}
+
+// readLoop is the reader goroutine: one response frame at a time,
+// dispatched to its registered handler by request id.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		var err error
+		buf, err = wire.ReadFrame(c.conn, buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, _, err := wire.DecodeResponse(buf, c.dim)
+		if err != nil {
+			c.fail(err)
+			c.conn.Close()
+			return
+		}
+		c.pmu.Lock()
+		h := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.pmu.Unlock()
+		if h != nil {
+			h(&resp, nil)
+		}
+	}
+}
+
+// submit parks one call on the combiner and waits for its result. The
+// first arrival while no batch is in flight becomes the flush leader: it
+// drains the queue, merges what merges, and writes one buffer — the same
+// leader/baton protocol as the engine's committers, applied to the
+// connection's write side. Unlike the engine's (whose combining window
+// is the synchronous commit), the baton here is held until the flushed
+// batch's LAST response arrives (batchDone, called from the reader):
+// the network round trip is the combining window, so calls arriving
+// while a batch is in flight accumulate into the next one instead of
+// racing out as singletons.
+func (c *Client) submit(ca *call) {
+	ca.done = make(chan struct{})
+	ca.lead = make(chan struct{})
+	c.bmu.Lock()
+	c.bpending = append(c.bpending, ca)
+	if c.bactive {
+		c.bmu.Unlock()
+		select {
+		case <-ca.done:
+			return
+		case <-ca.lead:
+		}
+	} else {
+		c.bactive = true
+		c.bmu.Unlock()
+	}
+	c.bmu.Lock()
+	group := c.bpending
+	c.bpending = nil
+	c.bmu.Unlock()
+	c.flush(group)
+	<-ca.done
+}
+
+// batchDone releases the combiner after an in-flight batch fully
+// resolves: leadership passes to a parked call (which drains everything
+// parked by now), or the gate opens for the next arrival.
+func (c *Client) batchDone() {
+	c.bmu.Lock()
+	if len(c.bpending) == 0 {
+		c.bactive = false
+		c.bmu.Unlock()
+		return
+	}
+	next := c.bpending[0]
+	c.bmu.Unlock()
+	close(next.lead)
+}
+
+// flush merges one drained group into as few wire requests as it can,
+// registers the response handlers, and writes every frame in one call.
+func (c *Client) flush(group []*call) {
+	var (
+		buf     []byte
+		raws    []*call
+		inserts []*call
+		byK     = map[int][]*call{}
+	)
+	for _, ca := range group {
+		switch ca.class {
+		case classKNN:
+			byK[ca.k] = append(byK[ca.k], ca)
+		case classInsert:
+			inserts = append(inserts, ca)
+		default:
+			raws = append(raws, ca)
+		}
+	}
+
+	c.pmu.Lock()
+	if err := c.sticky; err != nil {
+		c.pmu.Unlock()
+		for _, ca := range group {
+			ca.err = err
+			close(ca.done)
+		}
+		c.batchDone()
+		return
+	}
+	// The whole batch registers under one pmu hold, before the write:
+	// no handler can fire (reader or fail) until registration is
+	// complete, so the countdown to batchDone is race-free.
+	left := new(atomic.Int64)
+	register := func(req *wire.Request, h func(*wire.Response, error)) {
+		left.Add(1)
+		c.nextID++
+		req.ID = c.nextID
+		c.pending[req.ID] = func(r *wire.Response, err error) {
+			h(r, err)
+			if left.Add(-1) == 0 {
+				c.batchDone()
+			}
+		}
+		buf = wire.AppendRequest(buf, req)
+	}
+	for _, ca := range raws {
+		ca := ca
+		register(ca.req, func(r *wire.Response, err error) {
+			if err == nil {
+				ca.resp = *r
+				err = respErr(r)
+			}
+			ca.err = err
+			close(ca.done)
+		})
+	}
+	for k, members := range byK {
+		members := members
+		q := Points{Dim: c.dim}
+		for _, ca := range members {
+			q.Data = append(q.Data, ca.q...)
+		}
+		register(&wire.Request{Op: wire.OpKNN, K: int32(k), Queries: q},
+			func(r *wire.Response, err error) {
+				if err == nil {
+					if err = respErr(r); err == nil && len(r.Neighbors) != len(members) {
+						err = &RemoteError{Msg: fmt.Sprintf("KNN batch answered %d of %d queries", len(r.Neighbors), len(members))}
+					}
+				}
+				for i, ca := range members {
+					if err == nil {
+						ca.ids = r.Neighbors[i]
+					}
+					ca.err = err
+					close(ca.done)
+				}
+			})
+	}
+	if len(inserts) > 0 {
+		ins := Points{Dim: c.dim}
+		rows := make([]int, len(inserts))
+		for i, ca := range inserts {
+			rows[i] = ca.ins.Len()
+			ins.Data = append(ins.Data, ca.ins.Data...)
+		}
+		register(&wire.Request{Op: wire.OpUpdate, Ins: ins, Del: Points{Dim: c.dim}},
+			func(r *wire.Response, err error) {
+				if err == nil {
+					if err = respErr(r); err == nil && len(r.IDs) != ins.Len() {
+						err = &RemoteError{Msg: fmt.Sprintf("insert batch assigned %d ids for %d rows", len(r.IDs), ins.Len())}
+					}
+				}
+				off := 0
+				for i, ca := range inserts {
+					if err == nil {
+						// Ids come back in batch order: each member's
+						// share is its contiguous row span.
+						ca.ids = r.IDs[off : off+rows[i] : off+rows[i]]
+						ca.resp.Epoch = r.Epoch
+					}
+					off += rows[i]
+					ca.err = err
+					close(ca.done)
+				}
+			})
+	}
+	c.pmu.Unlock()
+
+	if len(buf) == 0 {
+		c.batchDone()
+		return
+	}
+	if _, err := c.conn.Write(buf); err != nil {
+		// fail resolves every registered handler, this group's included
+		// — their countdown reaches zero and releases the combiner.
+		c.fail(err)
+	}
+}
+
+// roundTrip submits one never-merged request and returns its response.
+func (c *Client) roundTrip(req *wire.Request) (wire.Response, error) {
+	ca := &call{class: classRaw, req: req}
+	c.submit(ca)
+	return ca.resp, ca.err
+}
+
+// KNN returns the ids of the k nearest live points to q, sorted by
+// increasing distance. Concurrent KNN calls with the same k coalesce
+// into one multi-query request (unless Options.NoBatch).
+func (c *Client) KNN(q []float64, k int) ([]int32, error) {
+	if len(q) != c.dim {
+		return nil, fmt.Errorf("client: query dim %d, engine dim %d", len(q), c.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
+	}
+	if c.opts.NoBatch {
+		resp, err := c.roundTrip(&wire.Request{Op: wire.OpKNN, K: int32(k), Queries: Points{Data: q, Dim: c.dim}})
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Neighbors) != 1 {
+			return nil, &RemoteError{Msg: fmt.Sprintf("KNN answered %d of 1 queries", len(resp.Neighbors))}
+		}
+		return resp.Neighbors[0], nil
+	}
+	ca := &call{class: classKNN, k: k, q: q}
+	c.submit(ca)
+	return ca.ids, ca.err
+}
+
+// KNNBatch answers many queries in one request (one parallel pass on the
+// server). It is never merged with other calls — it already is a batch.
+func (c *Client) KNNBatch(queries Points, k int) ([][]int32, error) {
+	if queries.Len() > 0 && queries.Dim != c.dim {
+		return nil, fmt.Errorf("client: query dim %d, engine dim %d", queries.Dim, c.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpKNN, K: int32(k), Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// RangeSearch returns the ids of all live points inside the closed box.
+func (c *Client) RangeSearch(box Box) ([]int32, error) {
+	if err := c.checkBox(box); err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRange, Box: box})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// RangeCount returns the number of live points inside the closed box.
+func (c *Client) RangeCount(box Box) (int, error) {
+	if err := c.checkBox(box); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRangeCount, Box: box})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
+func (c *Client) checkBox(box Box) error {
+	if len(box.Min) != c.dim || len(box.Max) != c.dim {
+		return fmt.Errorf("client: box dim %d×%d, engine dim %d", len(box.Min), len(box.Max), c.dim)
+	}
+	return nil
+}
+
+// Update commits one insert/delete batch pair, mirroring the embedded
+// engine's Update: the result's Err carries any failure (including the
+// typed ErrEngineClosed and ErrConnClosed). A pure insert may coalesce
+// with concurrent pure inserts; an update with deletions always travels
+// alone, because the wire reports one aggregate deletion count per
+// request and merged deletes could not be attributed back to callers.
+func (c *Client) Update(insert, del Points) UpdateResult {
+	if insert.Len() > 0 && insert.Dim != c.dim {
+		return UpdateResult{Err: fmt.Errorf("client: insert dim %d, engine dim %d", insert.Dim, c.dim)}
+	}
+	if del.Len() > 0 && del.Dim != c.dim {
+		return UpdateResult{Err: fmt.Errorf("client: delete dim %d, engine dim %d", del.Dim, c.dim)}
+	}
+	if del.Len() == 0 && insert.Len() > 0 && !c.opts.NoBatch {
+		ca := &call{class: classInsert, ins: insert}
+		c.submit(ca)
+		if ca.err != nil {
+			return UpdateResult{Err: ca.err}
+		}
+		return UpdateResult{IDs: ca.ids, Epoch: ca.resp.Epoch}
+	}
+	resp, err := c.roundTrip(&wire.Request{
+		Op:  wire.OpUpdate,
+		Ins: Points{Data: insert.Data, Dim: c.dim},
+		Del: Points{Data: del.Data, Dim: c.dim},
+	})
+	if err != nil {
+		return UpdateResult{Err: err}
+	}
+	return UpdateResult{IDs: resp.IDs, Deleted: int(resp.Deleted), Epoch: resp.Epoch}
+}
+
+// Insert commits a batch of new points and returns their assigned ids.
+func (c *Client) Insert(batch Points) UpdateResult {
+	return c.Update(batch, Points{Dim: c.dim})
+}
+
+// Delete commits the removal of every live point whose coordinates match
+// a batch point.
+func (c *Client) Delete(batch Points) UpdateResult {
+	return c.Update(Points{Dim: c.dim}, batch)
+}
+
+// Epoch returns the server engine's current snapshot epoch.
+func (c *Client) Epoch() (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpEpoch})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Checkpoint asks the server to write a checkpoint and returns the
+// highest durable epoch once it completes.
+func (c *Client) Checkpoint() (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpCheckpoint})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Stats returns the server's counters (engine serving stats plus
+// connection/request totals) as a name→value map.
+func (c *Client) Stats() (map[string]uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]uint64, len(resp.Stats))
+	for _, s := range resp.Stats {
+		m[s.Name] = s.Value
+	}
+	return m, nil
+}

@@ -1,0 +1,47 @@
+// Package client talks to a pargeo-serve daemon: a typed, concurrent
+// API over the wire protocol (internal/wire) whose surface mirrors the
+// embedded engine's — KNN, RangeSearch, RangeCount, Update/Insert/Delete
+// returning the same UpdateResult, plus Epoch, Checkpoint, and Stats.
+//
+// # Batching
+//
+// The server-side engine answers concurrent requests with flat-combining
+// committers and grouped query passes; the client mirrors the trick on
+// the connection's write side so that concurrency survives the network
+// hop. Calls park on a per-connection combiner. The first arrival while
+// no flush is running becomes the leader: it drains everything parked,
+// merges what merges, writes all resulting frames in one call, hands
+// leadership to a newly parked call, and then waits for its own response
+// like everyone else. Under load, whole groups of goroutine calls cross
+// the wire as single requests and reach the engine as single batches:
+//
+//   - KNN calls sharing a k merge into one multi-query request, answered
+//     by one parallel pass over one snapshot.
+//   - Pure inserts concatenate into one update request — one commit, one
+//     fsync — and the assigned ids are split back by row span.
+//   - Updates with deletions, range queries, and the admin calls never
+//     merge (a merged deletion count could not be attributed back to
+//     callers), but they share the flush's single write.
+//
+// No timers are involved: like the engine's combiners, batches form only
+// from calls that are genuinely concurrent, so an idle connection adds
+// no latency. Options.NoBatch disables merging for measurement — the
+// serve benchmark's batched-vs-unbatched comparison is exactly this
+// switch.
+//
+// # Errors
+//
+// Failures are typed, never string-matched: ErrEngineClosed (the same
+// value as the embedded engine's closed error) when the server is
+// shutting down, ErrConnClosed when this client's stream is gone, and
+// *RemoteError for other server-side failures. A broken stream poisons
+// the client; every in-flight and future call resolves promptly.
+//
+// # Durability
+//
+// The daemon drains in-flight requests before closing its engine, so any
+// update this client saw acknowledged is covered by the engine's
+// durability contract (see the repository README): on a SyncEvery=1
+// server an acknowledged epoch survives any crash; in relaxed mode it is
+// bounded by the group-commit window, exactly as for embedded use.
+package client

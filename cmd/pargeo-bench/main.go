@@ -12,6 +12,7 @@
 //	pargeo-bench -experiment sebstats        # §6.2 sampling-phase statistics
 //	pargeo-bench -experiment zdcompare       # §6.3 BDL-tree vs Zd-tree
 //	pargeo-bench -experiment engine          # mixed read/write serving throughput
+//	pargeo-bench -experiment serve           # network layer: open-loop tail latency + client batching
 //	pargeo-bench -experiment wal             # WAL durability overhead + recovery time
 //	pargeo-bench -experiment kdtree          # kd-tree Build/k-NN/range microbenchmarks
 //	pargeo-bench -experiment all
@@ -50,7 +51,7 @@ import (
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|wal|kdtree|all")
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|serve|wal|kdtree|all")
 	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
 	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
@@ -94,6 +95,7 @@ func main() {
 		engineBench(*flagN, *flagSeed, parseThreads(*flagShards), *flagMeasure)
 		engineDriftBench(*flagN, *flagSeed, parseRebalance(*flagRebalance))
 	})
+	run("serve", func() { serveBench(*flagN, *flagSeed, *flagMeasure) })
 	run("wal", func() { walBench(*flagN, *flagSeed, *flagMeasure) })
 	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
 	if !matched {

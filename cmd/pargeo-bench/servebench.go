@@ -1,0 +1,277 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"pargeo/client"
+	"pargeo/internal/engine"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/server"
+)
+
+// serveBench measures the network serving layer end to end on a loopback
+// TCP connection, two ways:
+//
+//   - An OPEN-LOOP tail-latency harness: requests arrive on fixed Poisson
+//     schedules (one per op class, well below saturation) and each
+//     latency is measured from the request's SCHEDULED arrival, not its
+//     send time — so server-side queueing is charged to the requests
+//     that suffered it instead of silently thinning the arrival stream
+//     (no coordinated omission). Each class runs three independent
+//     windows and every percentile is the MEDIAN across windows: a p999
+//     from one window is decided by a handful of samples and one GC or
+//     scheduler hiccup can move it 3×, which would make the compare
+//     gate flake — the median of three is what makes the tail rows
+//     stable enough to gate. p50/p99/p999 per class are recorded for
+//     BENCH_serve.json; a regression in any percentile trips the
+//     compare gate like a throughput loss would.
+//
+//   - A CLOSED-LOOP batched-vs-unbatched comparison at 16 concurrent
+//     callers: the same workload once through one batching client
+//     (concurrent calls coalesce into merged wire requests) and once
+//     through 16 independent unbatched connections. The ratio is the
+//     measured value of client-side flat combining.
+//
+// The engine runs in-memory here: the serve experiment gates the network
+// layer (framing, batching, per-request scheduling), and an fsync in the
+// loop would measure the host's storage instead. Durability overhead has
+// its own experiment (wal).
+func serveBench(n int, seed uint64, measure time.Duration) {
+	fmt.Println("=== serve: network serving layer, open-loop latency + batching (2D uniform) ===")
+	const (
+		dim      = 2
+		knnK     = 8
+		knnRate  = 3000.0 // arrivals/s, well under loopback saturation
+		updRate  = 750.0
+		openReps = 3 // independent windows per class; percentiles are medians
+	)
+	eng := engine.New(dim, engine.Options{Shards: 4})
+	seedPts := generators.UniformCube(n, dim, seed)
+	if res := eng.Insert(seedPts); res.Err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", res.Err)
+		os.Exit(1)
+	}
+	domain := geom.BoundingBoxAll(seedPts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.New(eng, dim, ln)
+	go srv.Serve() //nolint:errcheck // exits nil on Shutdown
+	defer func() { srv.Shutdown(); eng.Close() }()
+	addr := ln.Addr().String()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	// --- open loop ------------------------------------------------------
+	span := func(rng *rand.Rand) []float64 {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = domain.Min[d] + rng.Float64()*(domain.Max[d]-domain.Min[d])
+		}
+		return p
+	}
+	// Both classes run concurrently within each window (the mixed load is
+	// the point), and each window's percentiles are computed separately.
+	var wg sync.WaitGroup
+	knnLat := make([][]float64, openReps)
+	updLat := make([][]float64, openReps)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(seed)))
+		for rep := 0; rep < openReps; rep++ {
+			knnLat[rep] = openLoop(knnRate, measure, rng, func(r *rand.Rand) error {
+				_, err := c.KNN(span(r), knnK)
+				return err
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(int64(seed) + 1))
+		for rep := 0; rep < openReps; rep++ {
+			updLat[rep] = openLoop(updRate, measure, rng, func(r *rand.Rand) error {
+				res := c.Insert(geom.Points{Data: span(r), Dim: dim})
+				return res.Err
+			})
+		}
+	}()
+	wg.Wait()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "class\trate/s\tsamples\tp50\tp99\tp999")
+	for _, cl := range []struct {
+		name string
+		rate float64
+		lat  [][]float64
+	}{{"knn", knnRate, knnLat}, {"update", updRate, updLat}} {
+		p50, p99, p999 := medianPctile(cl.lat, 50), medianPctile(cl.lat, 99), medianPctile(cl.lat, 99.9)
+		samples := 0
+		for _, rep := range cl.lat {
+			samples += len(rep)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%s\t%s\t%s\n", cl.name, cl.rate, samples,
+			time.Duration(p50), time.Duration(p99), time.Duration(p999))
+		for _, p := range []struct {
+			tag string
+			ns  float64
+		}{{"p50", p50}, {"p99", p99}, {"p999", p999}} {
+			record(BenchRecord{
+				Experiment: "serve", Name: fmt.Sprintf("open-%s-%s", cl.name, p.tag),
+				N: n, Dim: dim, Seconds: measure.Seconds(), NsPerOp: p.ns,
+			})
+		}
+	}
+	w.Flush()
+
+	// --- closed loop: batched vs unbatched at 16 concurrent callers -----
+	const callers = 16
+	runClosed := func(clients []*client.Client) (knnOps, insOps float64) {
+		var done sync.WaitGroup
+		var knnN, insN int64
+		var mu sync.Mutex
+		stop := time.Now().Add(measure)
+		for g := 0; g < callers; g++ {
+			cc := clients[g%len(clients)]
+			g := g
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				rng := rand.New(rand.NewSource(int64(g) + 99))
+				var kn, in int64
+				for time.Now().Before(stop) {
+					if _, err := cc.KNN(span(rng), knnK); err != nil {
+						fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+						os.Exit(1)
+					}
+					kn++
+					if g%4 == 0 { // 4 of 16 callers also write
+						if res := cc.Insert(geom.Points{Data: span(rng), Dim: dim}); res.Err != nil {
+							fmt.Fprintf(os.Stderr, "servebench: %v\n", res.Err)
+							os.Exit(1)
+						}
+						in++
+					}
+				}
+				mu.Lock()
+				knnN += kn
+				insN += in
+				mu.Unlock()
+			}()
+		}
+		done.Wait()
+		return float64(knnN) / measure.Seconds(), float64(insN) / measure.Seconds()
+	}
+
+	batchedKNN, batchedIns := runClosed([]*client.Client{c})
+	unbatched := make([]*client.Client, callers)
+	for i := range unbatched {
+		uc, err := client.DialWith(addr, client.Options{NoBatch: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer uc.Close()
+		unbatched[i] = uc
+	}
+	unbatchedKNN, unbatchedIns := runClosed(unbatched)
+
+	fmt.Printf("\nclosed loop, %d callers:\n", callers)
+	fmt.Printf("  knn:    batched %.3g/s, unbatched %.3g/s (×%.2f)\n", batchedKNN, unbatchedKNN, batchedKNN/unbatchedKNN)
+	fmt.Printf("  insert: batched %.3g/s, unbatched %.3g/s (×%.2f)\n", batchedIns, unbatchedIns, batchedIns/unbatchedIns)
+	for _, r := range []struct {
+		name string
+		ops  float64
+	}{
+		{"closed-knn-batched", batchedKNN},
+		{"closed-knn-unbatched", unbatchedKNN},
+		{"closed-insert-batched", batchedIns},
+		{"closed-insert-unbatched", unbatchedIns},
+	} {
+		record(BenchRecord{
+			Experiment: "serve", Name: r.name, N: n, Dim: dim,
+			Seconds: measure.Seconds(), OpsPerSec: r.ops,
+		})
+	}
+}
+
+// openLoop fires requests on a Poisson schedule of the given rate for
+// the measure window and returns each request's latency (ns) measured
+// from its scheduled arrival time. Requests run concurrently: a slow
+// response delays nothing behind it, it only lengthens its own latency —
+// and any queue it caused shows up in the latencies of the requests
+// scheduled while it was in flight.
+func openLoop(rate float64, measure time.Duration, rng *rand.Rand, fire func(*rand.Rand) error) []float64 {
+	var scheduled []time.Duration
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= measure {
+			break
+		}
+		scheduled = append(scheduled, t)
+	}
+	lat := make([]float64, len(scheduled))
+	rngs := make([]*rand.Rand, len(scheduled))
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+	var wg sync.WaitGroup
+	start := time.Now().Add(5 * time.Millisecond)
+	for i, off := range scheduled {
+		at := start.Add(off)
+		time.Sleep(time.Until(at))
+		wg.Add(1)
+		go func(i int, at time.Time) {
+			defer wg.Done()
+			if err := fire(rngs[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "servebench: open-loop request: %v\n", err)
+				os.Exit(1)
+			}
+			lat[i] = float64(time.Since(at).Nanoseconds())
+		}(i, at)
+	}
+	wg.Wait()
+	return lat
+}
+
+// medianPctile computes the p-th percentile inside each window and
+// returns the median across windows.
+func medianPctile(reps [][]float64, p float64) float64 {
+	vals := make([]float64, 0, len(reps))
+	for _, lat := range reps {
+		vals = append(vals, pctile(lat, p))
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// pctile returns the p-th percentile (nearest-rank interpolation) of lat
+// in place-sorted order.
+func pctile(lat []float64, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Float64s(lat)
+	idx := p / 100 * float64(len(lat)-1)
+	lo := int(idx)
+	if lo >= len(lat)-1 {
+		return lat[len(lat)-1]
+	}
+	frac := idx - float64(lo)
+	return lat[lo]*(1-frac) + lat[lo+1]*frac
+}

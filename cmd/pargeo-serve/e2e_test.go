@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pargeo/client"
+	"pargeo/internal/geom"
+)
+
+// TestDaemonE2E is the end-to-end smoke test CI runs against the REAL
+// binary: build pargeo-serve, start it on a durable directory, drive a
+// concurrent loopback workload through the client package, kill the
+// daemon with SIGTERM mid-write, restart it on the same directory, and
+// verify epoch continuity — the restarted service resumes at (or past)
+// every epoch the first incarnation acknowledged, with every acked
+// insert live. This is the serving layer's crash-matrix analogue: not
+// exhaustive fault points, but the full process lifecycle.
+func TestDaemonE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon e2e builds and execs the binary; skipped in -short")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "pargeo-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building daemon: %v", err)
+	}
+	dataDir := filepath.Join(tmp, "db")
+
+	// start launches the daemon and returns its process plus the address
+	// parsed from the startup log line (the daemon binds :0, the
+	// listener picks the port).
+	start := func() (*exec.Cmd, string, chan error) {
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0",
+			"-dir", dataDir,
+			"-dim", "2",
+			"-shards", "4",
+			"-sync-every", "1",
+		)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		addrCh := make(chan string, 1)
+		exited := make(chan error, 1)
+		go func() {
+			sc := bufio.NewScanner(stderr)
+			for sc.Scan() {
+				line := sc.Text()
+				t.Logf("daemon: %s", line)
+				if i := strings.Index(line, "listening on "); i >= 0 {
+					rest := line[i+len("listening on "):]
+					if j := strings.IndexByte(rest, ' '); j > 0 {
+						select {
+						case addrCh <- rest[:j]:
+						default:
+						}
+					}
+				}
+			}
+			exited <- cmd.Wait()
+		}()
+		select {
+		case addr := <-addrCh:
+			return cmd, addr, exited
+		case err := <-exited:
+			t.Fatalf("daemon exited before listening: %v", err)
+			return nil, "", nil
+		case <-time.After(30 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("daemon never reported its address")
+			return nil, "", nil
+		}
+	}
+
+	cmd, addr, exited := start()
+
+	// Concurrent writers through real connections; every acked insert is
+	// remembered with the epoch that acknowledged it.
+	const writers = 4
+	var mu sync.Mutex
+	acked := map[int32]bool{}
+	var lastEpoch uint64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			for i := 0; ; i++ {
+				p := geom.Points{Data: []float64{float64(w*10000 + i), float64(i % 100)}, Dim: 2}
+				res := c.Insert(p)
+				if res.Err != nil {
+					// Shutdown in progress: only the typed endings are
+					// acceptable.
+					if !errors.Is(res.Err, client.ErrEngineClosed) && !errors.Is(res.Err, client.ErrConnClosed) {
+						t.Errorf("writer %d: untyped error: %v", w, res.Err)
+					}
+					return
+				}
+				mu.Lock()
+				acked[res.IDs[0]] = true
+				if res.Epoch > lastEpoch {
+					lastEpoch = res.Epoch
+				}
+				n := len(acked)
+				mu.Unlock()
+				if n > 5000 { // bounded: SIGTERM lands while we're still writing
+					return
+				}
+			}
+		}()
+	}
+	// Let the storm establish, then kill mid-flight.
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 200 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	// Restart on the same directory: the recovered service must resume at
+	// or past every epoch it acknowledged, with every acked insert live.
+	cmd2, addr2, exited2 := start()
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		<-exited2
+	}()
+	c, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	epoch, err := c.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if epoch < lastEpoch {
+		t.Fatalf("restarted at epoch %d, below last acknowledged epoch %d", epoch, lastEpoch)
+	}
+	everything := geom.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}
+	ids, err := c.RangeSearch(everything)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[int32]bool{}
+	for _, id := range ids {
+		live[id] = true
+	}
+	for id := range acked {
+		if !live[id] {
+			t.Fatalf("id %d was acknowledged before SIGTERM but is not live after restart", id)
+		}
+	}
+	if len(live) < len(acked) {
+		t.Fatalf("restart recovered %d points, %d were acked", len(live), len(acked))
+	}
+	fmt.Printf("e2e: %d acked inserts survived SIGTERM restart, epoch %d -> %d\n", len(acked), lastEpoch, epoch)
+}

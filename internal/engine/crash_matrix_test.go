@@ -117,6 +117,13 @@ func runCrashScript(fs wal.VFS, steps []crashStep) (lastAcked uint64) {
 		if res := e.Update(s.ins, s.del); res.Err == nil {
 			lastAcked = res.Epoch
 		}
+		// No-op cell: a delete matching nothing publishes no epoch, but
+		// the epoch it reports is still an acknowledgement — folding it
+		// into lastAcked makes verifyRecovery enforce, for every crash
+		// image, that no-op acks only ever vouch for durable epochs.
+		if res := e.Delete(geom.Points{Data: []float64{500, 500}, Dim: 2}); res.Err == nil && res.Epoch > lastAcked {
+			lastAcked = res.Epoch
+		}
 	}
 	return lastAcked
 }

@@ -259,6 +259,37 @@ func (e *Engine) waitDurable(lsn uint64) error {
 	return e.log.WaitDurable(lsn)
 }
 
+// ackNoop produces the epoch and error for a commit that changed no state
+// (a delete matching nothing, or a multi-shard route that touched no
+// shard). The reported epoch must honor the same acked⇒durable-prefix
+// contract as a real commit's: the naked published epoch won't do,
+// because a concurrently publishing commit can have bumped it past the
+// last fsync in relaxed SyncEvery>1 mode. Under publishMu the published
+// epoch and the log tail correspond exactly (every append happens under
+// that lock); waiting on the tail LSN makes the published epoch safe to
+// report in strict mode, and in relaxed mode — where WaitDurable returns
+// immediately by design — the ack falls back to the last fsync-covered
+// epoch, a statement that survives any crash.
+func (e *Engine) ackNoop() (uint64, error) {
+	if e.log == nil {
+		return e.snap.Load().epoch, nil
+	}
+	e.publishMu.Lock()
+	epoch := e.snap.Load().epoch
+	tail := e.log.TailLSN()
+	e.publishMu.Unlock()
+	err := e.log.WaitDurable(tail)
+	if durable := e.log.DurableEpoch(); durable < epoch {
+		epoch = durable
+	}
+	if err == nil {
+		// WaitDurable returns nil without looking at the log in relaxed
+		// mode; a poisoned log must still reject the ack.
+		err = e.log.Err()
+	}
+	return epoch, err
+}
+
 // noteWALCommit counts a committed WAL record toward the automatic
 // checkpoint trigger. Checkpoints run in the background so the write
 // path never stalls behind one; a background checkpoint's error is
@@ -291,6 +322,17 @@ func (e *Engine) noteWALCommit() {
 func (e *Engine) Checkpoint() error {
 	if e.log == nil {
 		return errors.New("engine: not durable (no Options.Durability)")
+	}
+	// The shared close lock serializes checkpoints against Close exactly
+	// like updates: a checkpoint in flight when Close begins finishes
+	// (Close's exclusive lock waits it out) before the log closes, and one
+	// submitted after Close began is rejected — it would otherwise write
+	// checkpoint files and prune WAL segments under a directory that a
+	// successor process may already be recovering from.
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
 	}
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()

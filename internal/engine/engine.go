@@ -304,6 +304,14 @@ type Engine struct {
 	// passes reuse buffers across queries and across groups instead of
 	// allocating per query-group member.
 	knnPools sync.Map // int (k) -> *kdtree.BufferPool
+
+	// Serving counters, exported through Stats. The group counters sit
+	// beside the request counters so an observer can read the coalescing
+	// ratio (requests per combined pass) straight off the numbers.
+	statUpdates     atomic.Uint64 // update requests acknowledged without error
+	statCommits     atomic.Uint64 // snapshot publishes (groups that changed state)
+	statQueries     atomic.Uint64 // query requests answered
+	statQueryGroups atomic.Uint64 // combined read passes run
 }
 
 // knnPool returns the engine's shared buffer pool for k-neighbor queries.
@@ -467,11 +475,19 @@ func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 			e.submitUpdate(&e.shards[s].comb, req, func(group []*updateReq) {
 				e.commitShard(s, group)
 			})
-			return req.res
+			return e.noteUpdateDone(req.res)
 		}
 	}
 	e.submitUpdate(&e.global, req, e.commitGlobal)
-	return req.res
+	return e.noteUpdateDone(req.res)
+}
+
+// noteUpdateDone counts an acknowledged update on its way out.
+func (e *Engine) noteUpdateDone(res UpdateResult) UpdateResult {
+	if res.Err == nil {
+		e.statUpdates.Add(1)
+	}
+	return res
 }
 
 // Insert commits a batch of new points and returns their assigned ids.
@@ -617,24 +633,25 @@ func (e *Engine) commitShard(s int, group []*updateReq) {
 	if len(insIDs) > 0 {
 		tree = tree.PersistentInsertWithIDs(geom.Points{Data: insData, Dim: e.dim}, insIDs)
 	}
-	epoch := old.epoch
-	var lsn uint64
 	// Publish only when the live set actually changed: a deletion batch that
 	// matched nothing (e.g. deletes against a still-empty engine) keeps the
 	// current epoch and tree version instead of publishing a no-op clone.
-	if len(insIDs) > 0 || deleted > 0 {
-		var err error
-		epoch, lsn, err = e.publish(group, func(vec []*bdltree.Tree) { vec[s] = tree })
-		if err != nil {
-			sh.commitMu.Unlock()
-			failGroup(group, err)
-			return
-		}
-		sh.noteCommit(rows)
-		sh.sampleGroup(len(group), e.dim,
-			func(i int) geom.Points { return group[i].ins },
-			func(i int) geom.Points { return group[i].del })
+	if len(insIDs) == 0 && deleted == 0 {
+		sh.commitMu.Unlock()
+		epoch, err := e.ackNoop()
+		finish(group, perDeleted, epoch, err)
+		return
 	}
+	epoch, lsn, err := e.publish(group, func(vec []*bdltree.Tree) { vec[s] = tree })
+	if err != nil {
+		sh.commitMu.Unlock()
+		failGroup(group, err)
+		return
+	}
+	sh.noteCommit(rows)
+	sh.sampleGroup(len(group), e.dim,
+		func(i int) geom.Points { return group[i].ins },
+		func(i int) geom.Points { return group[i].del })
 	sh.commitMu.Unlock()
 	// The durability wait happens OUTSIDE the shard lock: other shards'
 	// committers append and join the same group-commit fsync concurrently.
@@ -791,7 +808,11 @@ retry:
 			}
 		}
 		if len(affected) == 0 {
-			finish(group, make([]int, nG), e.snap.Load().epoch, e.waitDurable(0))
+			// No shard lock is held here, so a concurrent publish can bump
+			// the live epoch at any moment: the ack must report an epoch
+			// covered by the durable prefix, not the raw snapshot read.
+			epoch, err := e.ackNoop()
+			finish(group, make([]int, nG), epoch, err)
 			return
 		}
 
@@ -848,8 +869,7 @@ retry:
 		}
 		parlay.Submit(thunks).Wait()
 
-		epoch := old.epoch
-		var lsn uint64
+		var epoch, lsn uint64
 		changed := false
 		for _, s := range affected {
 			if newTrees[s] != nil {
@@ -887,6 +907,13 @@ retry:
 			for _, s := range affected {
 				perDeleted[i] += perDelShard[s][i]
 			}
+		}
+		if !changed {
+			// Nothing published: ack like any other no-op commit, with a
+			// durable-covered epoch rather than the raw live one.
+			epoch, err := e.ackNoop()
+			finish(group, perDeleted, epoch, err)
+			return
 		}
 		finish(group, perDeleted, epoch, e.waitDurable(lsn))
 		return
@@ -928,6 +955,7 @@ func (e *Engine) publish(group []*updateReq, apply func(vec []*bdltree.Tree)) (u
 	next := &Snapshot{part: cur.part, trees: vec, epoch: epoch, size: size}
 	e.snap.Store(next)
 	e.publishMu.Unlock()
+	e.statCommits.Add(1)
 	e.noteWALCommit()
 	return epoch, lsn, nil
 }
@@ -944,6 +972,7 @@ func (e *Engine) KNN(q []float64, k int) []int32 {
 	}
 	req := &queryReq{kind: qKNN, q: q, k: k, done: make(chan struct{}), lead: make(chan struct{})}
 	e.submitQuery(req)
+	e.statQueries.Add(1)
 	return req.ids
 }
 
@@ -951,6 +980,7 @@ func (e *Engine) KNN(q []float64, k int) []int32 {
 func (e *Engine) RangeSearch(box geom.Box) []int32 {
 	req := &queryReq{kind: qRange, box: box, done: make(chan struct{}), lead: make(chan struct{})}
 	e.submitQuery(req)
+	e.statQueries.Add(1)
 	return req.ids
 }
 
@@ -958,6 +988,7 @@ func (e *Engine) RangeSearch(box geom.Box) []int32 {
 func (e *Engine) RangeCount(box geom.Box) int {
 	req := &queryReq{kind: qCount, box: box, done: make(chan struct{}), lead: make(chan struct{})}
 	e.submitQuery(req)
+	e.statQueries.Add(1)
 	return req.count
 }
 
@@ -1000,6 +1031,7 @@ func (e *Engine) submitQuery(req *queryReq) {
 // one parlay batch submission, and each fanned-out range query prunes and
 // fans out again over the shards it overlaps.
 func (e *Engine) runGroup(group []*queryReq) {
+	e.statQueryGroups.Add(1)
 	snap := e.snap.Load()
 	// Solo fast path: an uncontended query (the common case at low
 	// concurrency) skips the grouping machinery and answers directly.

@@ -1,0 +1,51 @@
+package engine
+
+// Stats is a point-in-time snapshot of the engine's serving counters.
+// The request/group pairs expose the flat-combining coalescing ratio:
+// Updates/Commits and Queries/QueryGroups say how many concurrent
+// requests each combined pass absorbed on average.
+type Stats struct {
+	// Epoch is the current snapshot's epoch.
+	Epoch uint64
+	// DurableEpoch is the highest epoch covered by a completed fsync. On
+	// a non-durable engine it equals Epoch (there is no weaker prefix to
+	// report).
+	DurableEpoch uint64
+	// Size is the number of live points.
+	Size uint64
+	// Shards is the shard count.
+	Shards uint64
+	// Rebalances counts completed shard migrations and repartitions.
+	Rebalances uint64
+	// Updates counts update requests acknowledged without error.
+	Updates uint64
+	// Commits counts snapshot publishes: commit groups that changed
+	// state. No-op groups acknowledge without publishing.
+	Commits uint64
+	// Queries counts KNN/RangeSearch/RangeCount requests answered.
+	Queries uint64
+	// QueryGroups counts combined read passes run.
+	QueryGroups uint64
+}
+
+// Stats returns the engine's serving counters. The counters are read
+// individually (not under a lock), so ratios between them are approximate
+// under concurrent load; each counter is itself exact.
+func (e *Engine) Stats() Stats {
+	snap := e.snap.Load()
+	s := Stats{
+		Epoch:        snap.epoch,
+		DurableEpoch: snap.epoch,
+		Size:         uint64(snap.size),
+		Shards:       uint64(e.nshard),
+		Rebalances:   e.rebalanced.Load(),
+		Updates:      e.statUpdates.Load(),
+		Commits:      e.statCommits.Load(),
+		Queries:      e.statQueries.Load(),
+		QueryGroups:  e.statQueryGroups.Load(),
+	}
+	if e.log != nil {
+		s.DurableEpoch = e.log.DurableEpoch()
+	}
+	return s
+}

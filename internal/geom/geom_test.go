@@ -135,6 +135,22 @@ func TestCircumball(t *testing.T) {
 	if _, ok := Circumball([][]float64{{0, 0}, {1, 0}, {2, 0}}, center); ok {
 		t.Fatal("collinear circumball should fail")
 	}
+	// Degenerate but not axis-aligned: exactly collinear triples whose
+	// Gram matrix cancels to a ~1e-13 elimination residual instead of a
+	// clean zero. An absolute pivot epsilon accepted these and solved
+	// them into a garbage center (caught by TestCircumballProperty); the
+	// pivot test must be relative to the matrix scale.
+	for _, pts := range [][][]float64{
+		{{16, 8}, {-8, 56}, {44, -48}},
+		{{52, 44}, {-68, -28}, {12, 20}},
+	} {
+		if Orient2D(pts[0], pts[1], pts[2]) != 0 {
+			t.Fatalf("test triple %v is not exactly collinear", pts)
+		}
+		if _, ok := Circumball(pts, center); ok {
+			t.Fatalf("near-cancelling collinear circumball %v should fail", pts)
+		}
+	}
 	// Empty and single-point supports.
 	if sq, ok := Circumball(nil, center); !ok || sq != 0 {
 		t.Fatal("empty circumball")

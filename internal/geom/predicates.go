@@ -159,7 +159,26 @@ func Circumball(pts [][]float64, center []float64) (sqRadius float64, ok bool) {
 		}
 		b[i] = selfDot
 	}
-	// Gaussian elimination with partial pivoting.
+	// Gaussian elimination with partial pivoting. The singularity
+	// threshold must be RELATIVE to the matrix scale: an exactly
+	// collinear support set leaves a cancellation residual of order
+	// scale*1e-16 in the eliminated column — far above any absolute
+	// epsilon, which would accept the system and solve it into a garbage
+	// center. Condition numbers past 1e12 mean the circumcenter has no
+	// meaningful digits left anyway, so such supports are reported
+	// degenerate.
+	scale := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if ab := math.Abs(a[i][j]); ab > scale {
+				scale = ab
+			}
+		}
+	}
+	tol := scale * 1e-12
+	if tol < 1e-300 {
+		tol = 1e-300
+	}
 	for col := 0; col < m; col++ {
 		piv := col
 		for r := col + 1; r < m; r++ {
@@ -167,7 +186,7 @@ func Circumball(pts [][]float64, center []float64) (sqRadius float64, ok bool) {
 				piv = r
 			}
 		}
-		if math.Abs(a[piv][col]) < 1e-300 {
+		if math.Abs(a[piv][col]) < tol {
 			return 0, false
 		}
 		a[col], a[piv] = a[piv], a[col]

@@ -1,0 +1,238 @@
+// Package server serves an engine over the wire protocol. One Server
+// wraps one engine and one net.Listener; each accepted connection gets a
+// reader goroutine, and every decoded request runs in its own goroutine —
+// the server deliberately does NO batching of its own, because the
+// engine's flat-combining committers and query group leaders already
+// coalesce concurrent requests across all connections. A server-side
+// queue would only serialize what the engine wants to see in parallel.
+//
+// Shutdown is a drain, not an abort: Shutdown stops the accept loop,
+// fails fresh requests with StatusClosed, waits for every in-flight
+// request to commit and its response to be written, then closes the
+// connections. Only after Shutdown returns does the caller close the
+// engine — so an acknowledged response always corresponds to an update
+// the engine's durability contract covers.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pargeo/internal/engine"
+	"pargeo/internal/wire"
+)
+
+// Server serves one engine on one listener.
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+	dim int
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	connWG sync.WaitGroup // connection reader goroutines
+	reqWG  sync.WaitGroup // in-flight request handlers
+
+	accepted atomic.Uint64 // connections accepted
+	requests atomic.Uint64 // requests answered (any status)
+}
+
+// New returns a server for eng on ln. Call Serve to start accepting.
+func New(eng *engine.Engine, dim int, ln net.Listener) *Server {
+	return &Server{eng: eng, ln: ln, dim: dim, conns: map[net.Conn]struct{}{}}
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve runs the accept loop until the listener fails or Shutdown closes
+// it. A Shutdown-induced exit returns nil.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.accepted.Add(1)
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server: no new connections or requests, every
+// in-flight request finishes and its response is flushed, then the
+// connections close. Safe to call more than once. The engine is left
+// open — closing it is the caller's next step.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	// In-flight handlers first: each still holds its connection open and
+	// must get its response out before the close below cuts the stream.
+	s.reqWG.Wait()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+}
+
+// conn is one connection's shared write side: responses from concurrent
+// request handlers interleave frame-atomically under wmu.
+type conn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (c *conn) writeFrame(buf []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.c.Write(buf)
+	return err
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	c := &conn{c: nc}
+	var buf []byte
+	for {
+		var err error
+		buf, err = wire.ReadFrame(nc, buf)
+		if err != nil {
+			// EOF, peer reset, Shutdown's close, or a hostile length
+			// prefix: the stream is over either way. A corrupt frame
+			// cannot be answered — the request id inside it is not
+			// trustworthy — so the connection drops and the client's
+			// pending calls fail with the broken stream.
+			return
+		}
+		req, _, err := wire.DecodeRequest(buf, s.dim)
+		if err != nil {
+			return // unsynchronized stream: drop the connection
+		}
+		// The drain gate: a request that enters reqWG before Shutdown's
+		// reqWG.Wait() completes fully, response included; one arriving
+		// after the gate closes is answered StatusClosed without touching
+		// the engine (which may be mid-Close by then).
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			resp := &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusClosed, ErrMsg: engine.ErrClosed.Error()}
+			c.writeFrame(wire.AppendResponse(nil, resp)) //nolint:errcheck // connection is closing anyway
+			return
+		}
+		s.reqWG.Add(1)
+		s.mu.Unlock()
+		go func(req wire.Request) {
+			defer s.reqWG.Done()
+			resp := s.handle(&req)
+			s.requests.Add(1)
+			c.writeFrame(wire.AppendResponse(nil, resp)) //nolint:errcheck // peer gone: nothing to tell it
+		}(req)
+	}
+}
+
+// handle executes one decoded request against the engine.
+func (s *Server) handle(req *wire.Request) *wire.Response {
+	resp := &wire.Response{Op: req.Op, ID: req.ID}
+	switch req.Op {
+	case wire.OpHello:
+		resp.Dim = int32(s.dim)
+		resp.Shards = int32(s.eng.Shards())
+	case wire.OpKNN:
+		if req.K < 1 {
+			return fail(resp, fmt.Errorf("k = %d: want k ≥ 1", req.K))
+		}
+		if n := req.Queries.Len(); n == 1 {
+			// Solo queries ride the engine's combiner so concurrent
+			// connections group into one pass.
+			resp.Neighbors = [][]int32{s.eng.KNN(req.Queries.At(0), int(req.K))}
+		} else if n > 1 {
+			// A multi-query request is already a batch: one parallel
+			// pass over the snapshot, no grouping detour.
+			resp.Neighbors = s.eng.Snapshot().KNN(req.Queries, int(req.K))
+		}
+	case wire.OpRange:
+		resp.IDs = s.eng.RangeSearch(req.Box)
+	case wire.OpRangeCount:
+		resp.Count = uint64(s.eng.RangeCount(req.Box))
+	case wire.OpUpdate:
+		res := s.eng.Update(req.Ins, req.Del)
+		if res.Err != nil {
+			return fail(resp, res.Err)
+		}
+		resp.IDs = res.IDs
+		resp.Deleted = uint64(res.Deleted)
+		resp.Epoch = res.Epoch
+	case wire.OpEpoch:
+		resp.Epoch = s.eng.Epoch()
+	case wire.OpCheckpoint:
+		if err := s.eng.Checkpoint(); err != nil {
+			return fail(resp, err)
+		}
+		resp.Epoch = s.eng.Stats().DurableEpoch
+	case wire.OpStats:
+		resp.Stats = s.statList()
+	}
+	return resp
+}
+
+func fail(resp *wire.Response, err error) *wire.Response {
+	resp.Status = wire.StatusError
+	if errors.Is(err, engine.ErrClosed) {
+		resp.Status = wire.StatusClosed
+	}
+	resp.ErrMsg = err.Error()
+	return resp
+}
+
+// statList flattens the engine counters plus the server's own into the
+// wire's name/value list, in a fixed order.
+func (s *Server) statList() []wire.Stat {
+	st := s.eng.Stats()
+	return []wire.Stat{
+		{Name: "epoch", Value: st.Epoch},
+		{Name: "durable_epoch", Value: st.DurableEpoch},
+		{Name: "size", Value: st.Size},
+		{Name: "shards", Value: st.Shards},
+		{Name: "rebalances", Value: st.Rebalances},
+		{Name: "updates", Value: st.Updates},
+		{Name: "commits", Value: st.Commits},
+		{Name: "queries", Value: st.Queries},
+		{Name: "query_groups", Value: st.QueryGroups},
+		{Name: "connections", Value: s.accepted.Load()},
+		{Name: "requests", Value: s.requests.Load()},
+	}
+}

@@ -60,6 +60,7 @@ type Log struct {
 	file      File   // active segment
 	seq       uint64 // active segment sequence number
 	size      int    // bytes written to active segment
+	baseEpoch uint64 // epoch covered before LSN 1: nextEpoch-1 at open
 	appendLSN uint64 // records appended so far
 	syncedLSN uint64 // records known durable
 	syncing   bool   // a group-commit fsync is in flight
@@ -150,7 +151,7 @@ func OpenLog(fs VFS, dir string, dim int, opts LogOptions, nextEpoch uint64) (*L
 			}
 		}
 	}
-	l := &Log{fs: fs, dir: dir, dim: dim, opts: opts, seq: seq}
+	l := &Log{fs: fs, dir: dir, dim: dim, opts: opts, seq: seq, baseEpoch: nextEpoch - 1}
 	l.cond = sync.NewCond(&l.mu)
 	if err := l.startSegment(seq, nextEpoch); err != nil {
 		return nil, err
@@ -298,6 +299,26 @@ func (l *Log) Err() error {
 	return l.err
 }
 
+// TailLSN returns the LSN of the most recently appended record (0 when
+// nothing has been appended since open). Passing it to WaitDurable waits
+// for everything appended so far.
+func (l *Log) TailLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLSN
+}
+
+// DurableEpoch returns the highest epoch known covered by a completed
+// fsync. Callers append strictly consecutive epochs (replay enforces the
+// chain), so the record at LSN i carries epoch baseEpoch+i and the synced
+// LSN maps directly to a durable epoch. With nothing appended since open
+// it reports the epoch recovery last established (everything on disk).
+func (l *Log) DurableEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseEpoch + l.syncedLSN
+}
+
 // PrunePast deletes every segment whose records are fully covered by a
 // checkpoint at ckptEpoch: segment k is dead when the next segment's
 // firstEpoch is ≤ ckptEpoch+1, i.e. replay-from-checkpoint can start at
@@ -308,6 +329,13 @@ func (l *Log) PrunePast(ckptEpoch uint64) error {
 	if l.err != nil {
 		l.mu.Unlock()
 		return l.err
+	}
+	if l.closed {
+		// A closed log's directory may already belong to a successor
+		// process's recovery scan; deleting segments under it would turn a
+		// consistent prune into data loss.
+		l.mu.Unlock()
+		return ErrClosed
 	}
 	l.mu.Unlock()
 	seqs, err := listSegments(l.fs, l.dir)

@@ -342,6 +342,97 @@ func TestRelaxedSyncEvery(t *testing.T) {
 	}
 }
 
+// TestTailAndDurableEpoch pins the LSN↔epoch accounting that no-op
+// commit acknowledgements lean on: the record at LSN i carries epoch
+// baseEpoch+i, so DurableEpoch tracks the synced LSN exactly, in both
+// sync modes and across an epoch base other than zero.
+func TestTailAndDurableEpoch(t *testing.T) {
+	fs := NewMemFS()
+	dim := 2
+	const base = uint64(40) // log opened as if recovery ended at epoch 40
+	l, err := OpenLog(fs, "d", dim, LogOptions{SyncEvery: 4}, base+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.TailLSN(); got != 0 {
+		t.Fatalf("fresh TailLSN = %d", got)
+	}
+	if got := l.DurableEpoch(); got != base {
+		t.Fatalf("fresh DurableEpoch = %d, want %d", got, base)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		e := base + i
+		lsn, err := l.Append(KindCommit, e, commitRecord(e, nil, pts(dim, float64(e), 0), []int32{int32(e)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != i || l.TailLSN() != i {
+			t.Fatalf("append %d: lsn %d tail %d", i, lsn, l.TailLSN())
+		}
+		// Relaxed mode syncs inline every 4 records.
+		wantDurable := base + i/4*4
+		if got := l.DurableEpoch(); got != wantDurable {
+			t.Fatalf("after append %d: DurableEpoch %d, want %d", i, got, wantDurable)
+		}
+	}
+	if err := l.Close(); err != nil { // final fsync covers the tail
+		t.Fatal(err)
+	}
+	if got := l.DurableEpoch(); got != base+10 {
+		t.Fatalf("after close: DurableEpoch %d, want %d", got, base+10)
+	}
+
+	// Strict mode: WaitDurable advances the durable epoch to the waited
+	// record.
+	fs2 := NewMemFS()
+	l2, err := OpenLog(fs2, "d", dim, LogOptions{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l2.Append(KindCommit, 1, commitRecord(1, nil, pts(dim, 1, 0), []int32{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.DurableEpoch(); got != 0 {
+		t.Fatalf("pre-wait DurableEpoch = %d", got)
+	}
+	if err := l2.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.DurableEpoch(); got != 1 {
+		t.Fatalf("post-wait DurableEpoch = %d, want 1", got)
+	}
+	l2.Close()
+}
+
+// TestPrunePastClosedRejected: a closed log must refuse to delete
+// segments — its directory may already belong to a successor process's
+// recovery scan.
+func TestPrunePastClosedRejected(t *testing.T) {
+	fs := NewMemFS()
+	dim := 2
+	l, err := OpenLog(fs, "d", dim, LogOptions{SegmentSize: 64}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 6; e++ {
+		if _, err := l.Append(KindCommit, e, commitRecord(e, nil, pts(dim, float64(e), 0), []int32{int32(e)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := listSegments(fs, "d")
+	if err := l.PrunePast(6); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PrunePast on closed log: err = %v, want ErrClosed", err)
+	}
+	after, _ := listSegments(fs, "d")
+	if len(before) != len(after) {
+		t.Fatalf("PrunePast on closed log removed segments: %d -> %d", len(before), len(after))
+	}
+}
+
 func TestCheckpointRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, dim := range []int{2, 3, 5} {

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz contract mirrors internal/wal's: the decoders must never
+// panic or read past the input on ANY byte string, a decode error must
+// consume nothing, and an accepted frame must re-encode byte-identically
+// — the protocol has one canonical encoding, so a server echoing decoded
+// data can never smuggle bytes it did not validate.
+
+// seedMutations derives adversarial variants of a valid frame: single
+// bit flips across header, CRC, and body; a torn tail; a duplicated
+// frame (the second must decode independently).
+func seedMutations(f *testing.F, frames [][]byte) {
+	for _, v := range frames {
+		f.Add(v)
+		for _, bit := range []int{0, 7, 35, len(v)*8 - 1} {
+			fl := append([]byte{}, v...)
+			fl[bit/8] ^= 1 << (bit % 8)
+			f.Add(fl)
+		}
+		f.Add(v[:len(v)/2])
+		f.Add(append(append([]byte{}, v...), v...))
+	}
+}
+
+func FuzzRequestDecode(f *testing.F) {
+	var frames [][]byte
+	reqs := sampleRequests()
+	for i := range reqs {
+		frames = append(frames, AppendRequest(nil, &reqs[i]))
+	}
+	seedMutations(f, frames)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRequest(data, 2)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("consumed %d on error %v", n, err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if re := AppendRequest(nil, &r); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs\n got %x\nwant %x", re, data[:n])
+		}
+	})
+}
+
+func FuzzResponseDecode(f *testing.F) {
+	var frames [][]byte
+	resps := sampleResponses()
+	for i := range resps {
+		frames = append(frames, AppendResponse(nil, &resps[i]))
+	}
+	seedMutations(f, frames)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeResponse(data, 2)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("consumed %d on error %v", n, err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if re := AppendResponse(nil, &r); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode differs\n got %x\nwant %x", re, data[:n])
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"pargeo/internal/geom"
+)
+
+func pts(dim int, vals ...float64) geom.Points {
+	return geom.Points{Data: vals, Dim: dim}
+}
+
+// sampleRequests covers every op, including empty batches and zero k.
+func sampleRequests() []Request {
+	return []Request{
+		{Op: OpHello, ID: 1},
+		{Op: OpKNN, ID: 2, K: 3, Queries: pts(2, 1, 2, 3, 4)},
+		{Op: OpKNN, ID: 3, K: 0, Queries: geom.Points{Dim: 2}},
+		{Op: OpRange, ID: 4, Box: geom.Box{Min: []float64{0, -1}, Max: []float64{10, 11}}},
+		{Op: OpRangeCount, ID: 5, Box: geom.Box{Min: []float64{-5, -5}, Max: []float64{5, 5}}},
+		{Op: OpUpdate, ID: 6, Ins: pts(2, 9, 9, 8, 8), Del: pts(2, 1, 2)},
+		{Op: OpUpdate, ID: 7, Ins: geom.Points{Dim: 2}, Del: geom.Points{Dim: 2}},
+		{Op: OpEpoch, ID: 8},
+		{Op: OpCheckpoint, ID: 9},
+		{Op: OpStats, ID: 10},
+	}
+}
+
+// sampleResponses covers every op and status, including empty results.
+func sampleResponses() []Response {
+	return []Response{
+		{Op: OpHello, ID: 1, Dim: 2, Shards: 4},
+		{Op: OpKNN, ID: 2, Neighbors: [][]int32{{1, 2, 3}, nil, {7}}},
+		{Op: OpKNN, ID: 3},
+		{Op: OpRange, ID: 4, IDs: []int32{5, 6, 7}},
+		{Op: OpRange, ID: 5},
+		{Op: OpRangeCount, ID: 6, Count: 42},
+		{Op: OpUpdate, ID: 7, IDs: []int32{11, 12}, Deleted: 1, Epoch: 9},
+		{Op: OpUpdate, ID: 8, Epoch: 3},
+		{Op: OpEpoch, ID: 9, Epoch: 77},
+		{Op: OpCheckpoint, ID: 10, Epoch: 78},
+		{Op: OpStats, ID: 11, Stats: []Stat{{Name: "epoch", Value: 7}, {Name: "size", Value: 100}}},
+		{Op: OpStats, ID: 12},
+		{Op: OpUpdate, ID: 13, Status: StatusClosed, ErrMsg: "engine: closed"},
+		{Op: OpKNN, ID: 14, Status: StatusError, ErrMsg: "boom"},
+		{Op: OpEpoch, ID: 15, Status: StatusError, ErrMsg: ""},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range sampleRequests() {
+		buf := AppendRequest(nil, &want)
+		got, n, err := DecodeRequest(buf, 2)
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", want.Op, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("op %d: consumed %d of %d", want.Op, n, len(buf))
+		}
+		re := AppendRequest(nil, &got)
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("op %d: re-encode differs\n got %x\nwant %x", want.Op, re, buf)
+		}
+		if got.Op != want.Op || got.ID != want.ID || got.K != want.K {
+			t.Fatalf("op %d: header mismatch: %+v vs %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range sampleResponses() {
+		buf := AppendResponse(nil, &want)
+		got, n, err := DecodeResponse(buf, 2)
+		if err != nil {
+			t.Fatalf("op %d status %d: decode: %v", want.Op, want.Status, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("op %d: consumed %d of %d", want.Op, n, len(buf))
+		}
+		re := AppendResponse(nil, &got)
+		if !bytes.Equal(re, buf) {
+			t.Fatalf("op %d: re-encode differs\n got %x\nwant %x", want.Op, re, buf)
+		}
+		if got.Status != want.Status || got.ErrMsg != want.ErrMsg || got.Epoch != want.Epoch {
+			t.Fatalf("op %d: field mismatch: %+v vs %+v", want.Op, got, want)
+		}
+		if want.Op == OpStats && want.Status == StatusOK && !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Fatalf("stats mismatch: %+v vs %+v", got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestDecodeRejects: structurally broken frames must fail with ErrCorrupt
+// and consumed 0, never panic or over-read.
+func TestDecodeRejects(t *testing.T) {
+	good := AppendRequest(nil, &Request{Op: OpKNN, ID: 1, K: 2, Queries: pts(2, 1, 2)})
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": good[:5],
+		"torn payload": good[:len(good)-3],
+		"crc flip":     append(append([]byte{}, good[:5]...), append([]byte{good[5] ^ 0xff}, good[6:]...)...),
+		"zero length":  {0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for name, buf := range cases {
+		if _, n, err := DecodeRequest(buf, 2); !errors.Is(err, ErrCorrupt) && err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		} else if n != 0 {
+			t.Errorf("%s: consumed %d on error", name, n)
+		}
+	}
+
+	// A KNN request whose row count claims more coords than the payload
+	// holds must be rejected before any allocation sized from it.
+	huge := &Request{Op: OpKNN, ID: 1, K: 1, Queries: pts(2, 1, 2)}
+	buf := AppendRequest(nil, huge)
+	// Rewrite the row count (payload offset 9+4) to an absurd value and
+	// re-stamp the CRC so only the semantic check can catch it.
+	payload := append([]byte{}, buf[frameHeaderSize:]...)
+	payload[13], payload[14], payload[15], payload[16] = 0xff, 0xff, 0xff, 0x7f
+	reframed := appendFrame(nil, payload)
+	if _, n, err := DecodeRequest(reframed, 2); !errors.Is(err, ErrCorrupt) || n != 0 {
+		t.Errorf("oversized row count: err=%v n=%d, want ErrCorrupt, 0", err, n)
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var stream []byte
+	reqs := sampleRequests()
+	for i := range reqs {
+		stream = AppendRequest(stream, &reqs[i])
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := range reqs {
+		var err error
+		buf, err = ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, n, err := DecodeRequest(buf, 2)
+		if err != nil || n != len(buf) {
+			t.Fatalf("frame %d: decode n=%d err=%v", i, n, err)
+		}
+		if got.ID != reqs[i].ID {
+			t.Fatalf("frame %d: id %d, want %d", i, got.ID, reqs[i].ID)
+		}
+	}
+	if _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("after last frame: err=%v, want io.EOF", err)
+	}
+
+	// A stream torn mid-frame reports ErrUnexpectedEOF, not a clean EOF.
+	r = bytes.NewReader(stream[:len(stream)-4])
+	var err error
+	for err == nil {
+		buf, err = ReadFrame(r, buf)
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn stream: err=%v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A hostile length prefix is rejected before allocation.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(bad), nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile length: err=%v, want ErrCorrupt", err)
+	}
+}
