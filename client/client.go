@@ -1,11 +1,14 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pargeo/internal/engine"
 	"pargeo/internal/geom"
@@ -41,12 +44,57 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "pargeo server: " + e.Msg }
 
+// ErrOverloaded is the errors.Is target for load-shed calls: the server
+// (or its engine) refused the request at a full admission budget rather
+// than queueing it. The concrete error is an *OverloadedError carrying
+// the server's retry hint.
+var ErrOverloaded = errors.New("client: server overloaded")
+
+// OverloadedError reports one shed request. RetryAfter is the server's
+// hint for when a retry is worth sending; errors.Is matches it against
+// ErrOverloaded.
+type OverloadedError struct {
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%s (retry after %v)", e.Msg, e.RetryAfter)
+}
+
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
 // Options configure a Client.
 type Options struct {
 	// NoBatch disables call coalescing: every call becomes its own wire
 	// request. The connection is still shared and pipelined. Exists for
 	// measurement (the serve benchmark's unbatched arm) and debugging.
 	NoBatch bool
+
+	// MaxWindow caps the adaptive in-flight batch window. 0 or 1 keeps
+	// the default single-in-flight-batch combiner, which maximizes
+	// merging: every call arriving during a round trip joins the next
+	// batch. ≥ 2 enables the CUBIC window controller: up to the current
+	// window's worth of batches pipeline concurrently, the window growing
+	// while the connection is healthy and multiplicatively backing off on
+	// StatusOverloaded sheds or RTT inflation. Pipelining trades merging
+	// depth for concurrency — worth it for open-loop load or long pipes,
+	// not for a handful of closed-loop callers.
+	MaxWindow int
+
+	// RequestTimeout bounds each call when > 0: the call fails with
+	// context.DeadlineExceeded if its response has not arrived in time,
+	// and a connection write stalled past it poisons the client. The
+	// per-call context variants (KNNContext, UpdateContext) take the
+	// tighter of the two bounds.
+	RequestTimeout time.Duration
+
+	// RetryOverloaded is the number of times an idempotent read (KNN,
+	// KNNBatch, RangeSearch, RangeCount) is retried after a shed, waiting
+	// out the server's retry hint with ±50% jitter between attempts. 0
+	// disables retries. Updates are never retried — the caller owns
+	// non-idempotent retry policy.
+	RetryOverloaded int
 }
 
 // batch classes for the combiner.
@@ -82,10 +130,14 @@ type Client struct {
 	dim    int
 	shards int
 
-	// Write side: the flat-combining batcher (doc.go).
-	bmu      sync.Mutex
-	bpending []*call
-	bactive  bool
+	// Write side: the flat-combining batcher (doc.go). binflight counts
+	// batches written but not fully answered; the window (1 without
+	// Options.MaxWindow, adaptive with it) caps how many run at once.
+	bmu       sync.Mutex
+	bpending  []*call
+	binflight int
+	win       *windowController // nil unless Options.MaxWindow ≥ 2
+	wmu       sync.Mutex        // serializes conn.Write between concurrent flushes
 
 	// Read side: in-flight requests by id, completed by the reader
 	// goroutine. A handler distributes one response to its calls.
@@ -113,6 +165,9 @@ func DialWith(addr string, opts Options) (*Client, error) {
 		opts:       opts,
 		pending:    map[uint64]func(*wire.Response, error){},
 		readerDone: make(chan struct{}),
+	}
+	if opts.MaxWindow >= 2 {
+		c.win = newWindowController(opts.MaxWindow, time.Now)
 	}
 	// Handshake runs synchronously, before the reader exists: id 0 is
 	// reserved for it and the first frame back must answer it.
@@ -169,6 +224,11 @@ func respErr(r *wire.Response) error {
 		return nil
 	case wire.StatusClosed:
 		return ErrEngineClosed
+	case wire.StatusOverloaded:
+		return &OverloadedError{
+			RetryAfter: time.Duration(r.RetryAfterMillis) * time.Millisecond,
+			Msg:        r.ErrMsg,
+		}
 	default:
 		return &RemoteError{Msg: r.ErrMsg}
 	}
@@ -223,51 +283,108 @@ func (c *Client) readLoop() {
 	}
 }
 
-// submit parks one call on the combiner and waits for its result. The
-// first arrival while no batch is in flight becomes the flush leader: it
+// window is the current in-flight batch cap: 1 without the adaptive
+// controller, its CUBIC-driven value with it.
+func (c *Client) window() int {
+	if c.win == nil {
+		return 1
+	}
+	return c.win.current()
+}
+
+// submit parks one call on the combiner and waits for its result. An
+// arrival while the window has a free slot becomes a flush leader: it
 // drains the queue, merges what merges, and writes one buffer — the same
 // leader/baton protocol as the engine's committers, applied to the
 // connection's write side. Unlike the engine's (whose combining window
-// is the synchronous commit), the baton here is held until the flushed
-// batch's LAST response arrives (batchDone, called from the reader):
+// is the synchronous commit), a flushed batch holds its window slot
+// until its LAST response arrives (batchDone, called from the reader):
 // the network round trip is the combining window, so calls arriving
-// while a batch is in flight accumulate into the next one instead of
+// while the window is full accumulate into the next batch instead of
 // racing out as singletons.
 func (c *Client) submit(ca *call) {
+	if err := c.submitCtx(context.Background(), ca); err != nil {
+		// Unreachable with a background context; belt and braces.
+		ca.err = err
+	}
+}
+
+// submitCtx is submit with a deadline. A nil return means the call
+// resolved: ca's result fields are valid. A non-nil return means the
+// caller abandoned the call at ctx's deadline and must not touch ca —
+// the call is still live inside the batcher (a deputy goroutine carries
+// any baton it is later handed, and the reader will still resolve it).
+func (c *Client) submitCtx(ctx context.Context, ca *call) error {
 	ca.done = make(chan struct{})
 	ca.lead = make(chan struct{})
 	c.bmu.Lock()
-	c.bpending = append(c.bpending, ca)
-	if c.bactive {
+	if c.binflight >= c.window() {
+		c.bpending = append(c.bpending, ca)
 		c.bmu.Unlock()
 		select {
 		case <-ca.done:
-			return
+			return nil
 		case <-ca.lead:
+			c.leadDrain(ca)
+		case <-ctx.Done():
+			// Abandoned while parked. The call stays queued — pulling it
+			// out would reorder the baton bookkeeping under the reader's
+			// feet — so a deputy stands in for the departed caller: if the
+			// baton arrives, it drains and flushes exactly as the caller
+			// would have (the flush resolves ca and every other parked
+			// call; skipping it would strand them all).
+			go func() {
+				select {
+				case <-ca.done:
+				case <-ca.lead:
+					c.leadDrain(ca)
+				}
+			}()
+			return ctx.Err()
 		}
 	} else {
-		c.bactive = true
+		c.binflight++
 		c.bmu.Unlock()
+		c.leadDrain(ca)
 	}
+	select {
+	case <-ca.done:
+		return nil
+	case <-ctx.Done():
+		// In flight: the reader (or fail) will close done eventually; the
+		// caller just stops waiting.
+		return ctx.Err()
+	}
+}
+
+// leadDrain is the leader's half of the baton protocol: drain everything
+// parked, fold the leader's own call in, and flush one merged batch. The
+// leader's window slot was taken either at submit (immediate leader) or
+// inherited through the baton (batchDone popped it from the queue
+// without releasing the slot).
+func (c *Client) leadDrain(ca *call) {
 	c.bmu.Lock()
-	group := c.bpending
+	group := append(c.bpending, ca)
 	c.bpending = nil
 	c.bmu.Unlock()
 	c.flush(group)
-	<-ca.done
 }
 
-// batchDone releases the combiner after an in-flight batch fully
-// resolves: leadership passes to a parked call (which drains everything
-// parked by now), or the gate opens for the next arrival.
+// batchDone releases one window slot after an in-flight batch fully
+// resolves: leadership passes to a parked call (popped here, so no two
+// batons ever reach one call), or the slot frees for the next arrival.
+// When the adaptive window has shrunk below the in-flight count, the
+// slot is retired instead of handed on — that is the multiplicative
+// decrease taking effect.
 func (c *Client) batchDone() {
 	c.bmu.Lock()
-	if len(c.bpending) == 0 {
-		c.bactive = false
+	if len(c.bpending) == 0 || c.binflight > c.window() {
+		c.binflight--
 		c.bmu.Unlock()
 		return
 	}
 	next := c.bpending[0]
+	c.bpending = c.bpending[1:]
 	c.bmu.Unlock()
 	close(next.lead)
 }
@@ -306,11 +423,18 @@ func (c *Client) flush(group []*call) {
 	// no handler can fire (reader or fail) until registration is
 	// complete, so the countdown to batchDone is race-free.
 	left := new(atomic.Int64)
+	start := time.Now()
 	register := func(req *wire.Request, h func(*wire.Response, error)) {
 		left.Add(1)
 		c.nextID++
 		req.ID = c.nextID
 		c.pending[req.ID] = func(r *wire.Response, err error) {
+			if c.win != nil && err == nil {
+				// Feed the window controller before the caller sees the
+				// result: a shed is the congestion signal, any other
+				// response a fresh RTT sample.
+				c.win.onAck(time.Since(start), r.Status == wire.StatusOverloaded)
+			}
 			h(r, err)
 			if left.Add(-1) == 0 {
 				c.batchDone()
@@ -385,17 +509,72 @@ func (c *Client) flush(group []*call) {
 		c.batchDone()
 		return
 	}
-	if _, err := c.conn.Write(buf); err != nil {
+	// With the adaptive window, concurrent leaders flush concurrently;
+	// wmu keeps their frame runs from interleaving mid-frame.
+	c.wmu.Lock()
+	if d := c.opts.RequestTimeout; d > 0 {
+		// A peer that stops reading while we stall in Write would
+		// otherwise hang the call past any deadline: the deadline fails
+		// the write, and the stream (unsynchronized at an unknown write
+		// offset) is poisoned with it.
+		c.conn.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck // a failed arm surfaces in Write
+	}
+	_, err := c.conn.Write(buf)
+	c.wmu.Unlock()
+	if err != nil {
 		// fail resolves every registered handler, this group's included
 		// — their countdown reaches zero and releases the combiner.
 		c.fail(err)
 	}
 }
 
+// callCtx applies Options.RequestTimeout to a public entry point's
+// context. The cancel func must always be called.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := c.opts.RequestTimeout; d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// retryRead runs one idempotent read, retrying up to
+// Options.RetryOverloaded times after sheds. Each wait is the server's
+// retry hint with ±50% jitter — synchronized clients retrying in
+// lockstep would just reproduce the burst that got them shed.
+func (c *Client) retryRead(ctx context.Context, f func() error) error {
+	err := f()
+	for n := 0; n < c.opts.RetryOverloaded && errors.Is(err, ErrOverloaded); n++ {
+		wait := 10 * time.Millisecond
+		var oe *OverloadedError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			wait = oe.RetryAfter
+		}
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait))) //nolint:gosec // jitter, not crypto
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+		err = f()
+	}
+	return err
+}
+
 // roundTrip submits one never-merged request and returns its response.
 func (c *Client) roundTrip(req *wire.Request) (wire.Response, error) {
+	ctx, cancel := c.callCtx(context.Background())
+	defer cancel()
+	return c.roundTripCtx(ctx, req)
+}
+
+// roundTripCtx is roundTrip under an already-prepared context.
+func (c *Client) roundTripCtx(ctx context.Context, req *wire.Request) (wire.Response, error) {
 	ca := &call{class: classRaw, req: req}
-	c.submit(ca)
+	if err := c.submitCtx(ctx, ca); err != nil {
+		return wire.Response{}, err
+	}
 	return ca.resp, ca.err
 }
 
@@ -403,14 +582,34 @@ func (c *Client) roundTrip(req *wire.Request) (wire.Response, error) {
 // increasing distance. Concurrent KNN calls with the same k coalesce
 // into one multi-query request (unless Options.NoBatch).
 func (c *Client) KNN(q []float64, k int) ([]int32, error) {
+	return c.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN bounded by ctx: at its deadline the call returns
+// ctx.Err() without waiting on the wire (the request, if already sent,
+// still completes server-side). Options.RequestTimeout, when set, bounds
+// the call as well — the tighter deadline wins.
+func (c *Client) KNNContext(ctx context.Context, q []float64, k int) ([]int32, error) {
 	if len(q) != c.dim {
 		return nil, fmt.Errorf("client: query dim %d, engine dim %d", len(q), c.dim)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
 	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	var ids []int32
+	err := c.retryRead(ctx, func() error {
+		var err error
+		ids, err = c.knnOnce(ctx, q, k)
+		return err
+	})
+	return ids, err
+}
+
+func (c *Client) knnOnce(ctx context.Context, q []float64, k int) ([]int32, error) {
 	if c.opts.NoBatch {
-		resp, err := c.roundTrip(&wire.Request{Op: wire.OpKNN, K: int32(k), Queries: Points{Data: q, Dim: c.dim}})
+		resp, err := c.roundTripCtx(ctx, &wire.Request{Op: wire.OpKNN, K: int32(k), Queries: Points{Data: q, Dim: c.dim}})
 		if err != nil {
 			return nil, err
 		}
@@ -420,7 +619,9 @@ func (c *Client) KNN(q []float64, k int) ([]int32, error) {
 		return resp.Neighbors[0], nil
 	}
 	ca := &call{class: classKNN, k: k, q: q}
-	c.submit(ca)
+	if err := c.submitCtx(ctx, ca); err != nil {
+		return nil, err
+	}
 	return ca.ids, ca.err
 }
 
@@ -433,7 +634,8 @@ func (c *Client) KNNBatch(queries Points, k int) ([][]int32, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
 	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpKNN, K: int32(k), Queries: queries})
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpKNN, K: int32(k), Queries: queries})
 	if err != nil {
 		return nil, err
 	}
@@ -445,7 +647,8 @@ func (c *Client) RangeSearch(box Box) ([]int32, error) {
 	if err := c.checkBox(box); err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRange, Box: box})
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpRange, Box: box})
 	if err != nil {
 		return nil, err
 	}
@@ -457,11 +660,24 @@ func (c *Client) RangeCount(box Box) (int, error) {
 	if err := c.checkBox(box); err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(&wire.Request{Op: wire.OpRangeCount, Box: box})
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpRangeCount, Box: box})
 	if err != nil {
 		return 0, err
 	}
 	return int(resp.Count), nil
+}
+
+// readRoundTrip is roundTrip plus the idempotent-read retry policy. The
+// request is re-submitted verbatim on each attempt (fresh wire id).
+func (c *Client) readRoundTrip(out *wire.Response, req *wire.Request) error {
+	ctx, cancel := c.callCtx(context.Background())
+	defer cancel()
+	return c.retryRead(ctx, func() error {
+		resp, err := c.roundTripCtx(ctx, req)
+		*out = resp
+		return err
+	})
 }
 
 func (c *Client) checkBox(box Box) error {
@@ -478,21 +694,34 @@ func (c *Client) checkBox(box Box) error {
 // alone, because the wire reports one aggregate deletion count per
 // request and merged deletes could not be attributed back to callers.
 func (c *Client) Update(insert, del Points) UpdateResult {
+	return c.UpdateContext(context.Background(), insert, del)
+}
+
+// UpdateContext is Update bounded by ctx: at its deadline the result
+// carries ctx.Err() and the caller must treat the update's fate as
+// unknown — the batch may still commit server-side (an abandoned call is
+// not a cancelled one; the wire has no cancel). Options.RequestTimeout,
+// when set, bounds the call as well. Updates are never auto-retried.
+func (c *Client) UpdateContext(ctx context.Context, insert, del Points) UpdateResult {
 	if insert.Len() > 0 && insert.Dim != c.dim {
 		return UpdateResult{Err: fmt.Errorf("client: insert dim %d, engine dim %d", insert.Dim, c.dim)}
 	}
 	if del.Len() > 0 && del.Dim != c.dim {
 		return UpdateResult{Err: fmt.Errorf("client: delete dim %d, engine dim %d", del.Dim, c.dim)}
 	}
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
 	if del.Len() == 0 && insert.Len() > 0 && !c.opts.NoBatch {
 		ca := &call{class: classInsert, ins: insert}
-		c.submit(ca)
+		if err := c.submitCtx(ctx, ca); err != nil {
+			return UpdateResult{Err: err}
+		}
 		if ca.err != nil {
 			return UpdateResult{Err: ca.err}
 		}
 		return UpdateResult{IDs: ca.ids, Epoch: ca.resp.Epoch}
 	}
-	resp, err := c.roundTrip(&wire.Request{
+	resp, err := c.roundTripCtx(ctx, &wire.Request{
 		Op:  wire.OpUpdate,
 		Ins: Points{Data: insert.Data, Dim: c.dim},
 		Del: Points{Data: del.Data, Dim: c.dim},

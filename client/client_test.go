@@ -1,0 +1,357 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pargeo/client"
+	"pargeo/internal/wire"
+)
+
+// fakeServer speaks the wire protocol with a scriptable handler, so the
+// client's failure-path behavior can be pinned without a real engine:
+// sheds, stalls, and mid-batch connection drops on demand. Hello is
+// answered automatically (dim 2, one shard).
+type fakeServer struct {
+	t      *testing.T
+	ln     net.Listener
+	handle func(req *wire.Request, send func(*wire.Response))
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newFakeServer(t *testing.T, handle func(req *wire.Request, send func(*wire.Response))) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{t: t, ln: ln, handle: handle}
+	go fs.serve()
+	t.Cleanup(fs.close)
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.ln.Addr().String() }
+
+func (fs *fakeServer) close() {
+	fs.ln.Close()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, c := range fs.conns {
+		c.Close()
+	}
+}
+
+// dropConns severs every accepted connection mid-stream.
+func (fs *fakeServer) dropConns() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, c := range fs.conns {
+		c.Close()
+	}
+	fs.conns = nil
+}
+
+func (fs *fakeServer) serve() {
+	for {
+		conn, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		fs.conns = append(fs.conns, conn)
+		fs.mu.Unlock()
+		go func() {
+			var wmu sync.Mutex
+			send := func(resp *wire.Response) {
+				wmu.Lock()
+				defer wmu.Unlock()
+				conn.Write(wire.AppendResponse(nil, resp)) //nolint:errcheck // test conn may be gone
+			}
+			var buf []byte
+			for {
+				var err error
+				buf, err = wire.ReadFrame(conn, buf)
+				if err != nil {
+					return
+				}
+				req, _, err := wire.DecodeRequest(buf, 2)
+				if err != nil {
+					fs.t.Errorf("fake server: corrupt request: %v", err)
+					return
+				}
+				if req.Op == wire.OpHello {
+					send(&wire.Response{Op: wire.OpHello, ID: req.ID, Dim: 2, Shards: 1})
+					continue
+				}
+				// Concurrent dispatch, like the real server: the read
+				// loop must not serialize handlers, or pipelined batches
+				// could never overlap at the server.
+				r := req
+				go fs.handle(&r, send)
+			}
+		}()
+	}
+}
+
+// echoKNN answers a (possibly merged) KNN request with one id per query.
+func echoKNN(req *wire.Request, send func(*wire.Response)) {
+	nb := make([][]int32, req.Queries.Len())
+	for i := range nb {
+		nb[i] = []int32{int32(i)}
+	}
+	send(&wire.Response{Op: req.Op, ID: req.ID, Neighbors: nb})
+}
+
+// TestOverloadedTyped: a shed frame surfaces as *OverloadedError, is
+// matched by errors.Is(…, ErrOverloaded), and carries the server's hint.
+func TestOverloadedTyped(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		send(&wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOverloaded,
+			RetryAfterMillis: 25, ErrMsg: "server: overloaded (reads)"})
+	})
+	c, err := client.Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.KNN([]float64{1, 2}, 3)
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("shed KNN: %v, want ErrOverloaded", err)
+	}
+	var oe *client.OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter != 25*time.Millisecond {
+		t.Fatalf("shed KNN: %v, want *OverloadedError with 25ms hint", err)
+	}
+	// A shed update is typed the same way but NEVER retried.
+	if res := c.Insert(client.Points{Data: []float64{1, 2}, Dim: 2}); !errors.Is(res.Err, client.ErrOverloaded) {
+		t.Fatalf("shed insert: %v, want ErrOverloaded", res.Err)
+	}
+}
+
+// TestRetryOverloaded: with the retry option, an idempotent read rides
+// out sheds and returns the eventual answer; attempts are bounded.
+func TestRetryOverloaded(t *testing.T) {
+	var reads, writes atomic.Int64
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		if req.Op == wire.OpUpdate {
+			writes.Add(1)
+			send(&wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOverloaded, RetryAfterMillis: 1})
+			return
+		}
+		if reads.Add(1) <= 2 {
+			send(&wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOverloaded, RetryAfterMillis: 1})
+			return
+		}
+		echoKNN(req, send)
+	})
+	c, err := client.DialWith(fs.addr(), client.Options{RetryOverloaded: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ids, err := c.KNN([]float64{1, 2}, 1)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("retried KNN: ids=%v err=%v", ids, err)
+	}
+	if got := reads.Load(); got != 3 {
+		t.Fatalf("server saw %d read attempts, want 3 (2 sheds + 1 success)", got)
+	}
+	// Writes never auto-retry, even with the option set.
+	if res := c.Insert(client.Points{Data: []float64{3, 4}, Dim: 2}); !errors.Is(res.Err, client.ErrOverloaded) {
+		t.Fatalf("shed insert with retry option: %v, want ErrOverloaded", res.Err)
+	}
+	if got := writes.Load(); got != 1 {
+		t.Fatalf("server saw %d write attempts, want exactly 1", got)
+	}
+}
+
+// TestRequestTimeout: a server that swallows requests must not hang the
+// client — Options.RequestTimeout bounds the wait and surfaces
+// context.DeadlineExceeded.
+func TestRequestTimeout(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		// Swallow everything: the response never comes.
+	})
+	c, err := client.DialWith(fs.addr(), client.Options{RequestTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.KNN([]float64{1, 2}, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled KNN: %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("stalled KNN took %v to time out", el)
+	}
+}
+
+// TestContextDeadlineWhileParked: the deputy regression. With the
+// single-batch window, a call parked behind a stalled batch abandons at
+// its deadline — but if the baton is later handed to the abandoned call,
+// someone must still drain the queue, or every other parked caller
+// hangs forever.
+func TestContextDeadlineWhileParked(t *testing.T) {
+	type held struct {
+		req  *wire.Request
+		send func(*wire.Response)
+	}
+	first := make(chan held, 1)
+	var n atomic.Int64
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		if n.Add(1) == 1 {
+			first <- held{req, send} // hold the first batch's response
+			return
+		}
+		echoKNN(req, send)
+	})
+	c, err := client.Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// X: in flight, response held by the server.
+	xDone := make(chan error, 1)
+	go func() {
+		_, err := c.KNN([]float64{0, 0}, 1)
+		xDone <- err
+	}()
+	h := <-first // X's request has arrived; its batch is now stalled in flight
+
+	// A parks behind X with a deadline it will miss; B parks with none.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	aDone := make(chan error, 1)
+	go func() {
+		_, err := c.KNNContext(ctx, []float64{1, 1}, 1)
+		aDone <- err
+	}()
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := c.KNN([]float64{2, 2}, 1)
+		bDone <- err
+	}()
+
+	// A abandons while parked.
+	select {
+	case err := <-aDone:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("parked call at deadline: %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked call ignored its deadline")
+	}
+	select {
+	case err := <-bDone:
+		t.Fatalf("B resolved while the first batch still held: %v", err)
+	default:
+	}
+
+	// Release X. The baton may go to the ABANDONED call A — its deputy
+	// must lead the drain so B's call still reaches the server.
+	echoKNN(h.req, h.send)
+	if err := <-xDone; err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	select {
+	case err := <-bDone:
+		if err != nil {
+			t.Fatalf("call parked behind an abandoned baton holder: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call parked behind an abandoned baton holder never resolved")
+	}
+}
+
+// TestBatonReleaseOnBrokenBatch: the stream breaks while a batch is in
+// flight and others are parked behind it. Every caller — in flight and
+// parked — must resolve promptly with the typed connection error; none
+// may wait on a baton that no response will ever release.
+func TestBatonReleaseOnBrokenBatch(t *testing.T) {
+	got := make(chan struct{}, 16)
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		got <- struct{}{} // swallow: these responses never come
+	})
+	c, err := client.Dial(fs.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const callers = 6
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			_, err := c.KNN([]float64{float64(i), 0}, 1)
+			errs <- err
+		}()
+	}
+	<-got // the leader's batch reached the server; the rest are parked
+	fs.dropConns()
+	for i := 0; i < callers; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, client.ErrConnClosed) {
+				t.Fatalf("caller resolved with %v, want ErrConnClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("after the break, %d of %d callers still parked on the dead baton", callers-i, callers)
+		}
+	}
+}
+
+// TestAdaptiveWindowPipelines: with MaxWindow enabled and the server
+// holding responses, the client must put MORE than one batch in flight
+// once the window grows — the single-batch invariant is opt-out by
+// design, and this pins that the opt-in actually pipelines.
+func TestAdaptiveWindowPipelines(t *testing.T) {
+	var inflight, peak atomic.Int64
+	fs := newFakeServer(t, func(req *wire.Request, send func(*wire.Response)) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond) // hold the slot so batches overlap
+		echoKNN(req, send)
+		inflight.Add(-1)
+	})
+	c, err := client.DialWith(fs.addr(), client.Options{MaxWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Closed-loop callers keep the pipe busy; healthy acks grow the
+	// window past 1, letting batches overlap at the server.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := c.KNN([]float64{1, 2}, 1); err != nil {
+					t.Errorf("windowed KNN: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p < 2 {
+		t.Fatalf("peak concurrent batches %d with MaxWindow 8, want ≥ 2", p)
+	}
+}

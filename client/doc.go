@@ -29,13 +29,41 @@
 // serve benchmark's batched-vs-unbatched comparison is exactly this
 // switch.
 //
+// # Adaptive window
+//
+// By default exactly one merged batch is in flight per connection — the
+// round trip is the combining window, which maximizes merging for
+// closed-loop callers. Options.MaxWindow ≥ 2 relaxes that into an
+// adaptive pipeline: up to a CUBIC-controlled number of batches overlap
+// on the wire, the window growing while responses come back healthy and
+// backing off multiplicatively when the server sheds (StatusOverloaded)
+// or round-trip times inflate over the connection's observed floor.
+// This trades merging depth for concurrency; it is the right setting
+// for open-loop load (the overload benchmark enables it) and the wrong
+// one for a handful of synchronous callers.
+//
+// # Overload, deadlines, and retries
+//
+// A server past its admission budgets sheds requests instead of queueing
+// them. A shed call fails fast with an *OverloadedError carrying the
+// server's retry-after hint; errors.Is(err, ErrOverloaded) matches it.
+// Options.RetryOverloaded lets the client absorb sheds of idempotent
+// reads by retrying after the hint plus jitter; updates are never
+// auto-retried. Options.RequestTimeout (and the KNNContext /
+// UpdateContext variants) bound each call: at the deadline the caller
+// gets context.DeadlineExceeded immediately, while the batcher's
+// internal bookkeeping — including combiner-baton handoff for a call
+// that was parked — is carried out by a deputy on its behalf, so an
+// abandoned call can never wedge the connection.
+//
 // # Errors
 //
 // Failures are typed, never string-matched: ErrEngineClosed (the same
 // value as the embedded engine's closed error) when the server is
-// shutting down, ErrConnClosed when this client's stream is gone, and
-// *RemoteError for other server-side failures. A broken stream poisons
-// the client; every in-flight and future call resolves promptly.
+// shutting down, ErrConnClosed when this client's stream is gone,
+// *OverloadedError (matching ErrOverloaded) when the request was shed,
+// and *RemoteError for other server-side failures. A broken stream
+// poisons the client; every in-flight and future call resolves promptly.
 //
 // # Durability
 //

@@ -1,0 +1,123 @@
+package client
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CUBIC constants (RFC 8312): C scales the cubic growth, beta is the
+// multiplicative decrease. The RTT gains are RFC 6298's.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+	// rttInflation: a sample this many times the observed floor means the
+	// server's queues are absorbing the difference — treat it as
+	// congestion even though nothing was shed yet.
+	rttInflation = 2.0
+)
+
+// windowController adapts the client's in-flight batch window from the
+// two overload signals a pargeo-serve connection exposes: explicit
+// StatusOverloaded sheds and RTT inflation over the connection's
+// observed floor. Growth follows the CUBIC curve — concave approach to
+// the window that last congested, then convex probing past it — and
+// each congestion signal applies one multiplicative decrease per
+// smoothed RTT (every response in a shed burst reports the same event;
+// halving once per burst, not once per response, is what keeps the
+// window from collapsing to the floor on every incident).
+//
+// The zero value is not usable; newWindowController sets the clock, the
+// cap, and the starting window of 1 (today's single-in-flight-batch
+// behavior, grown only as acks prove capacity).
+type windowController struct {
+	mu  sync.Mutex
+	now func() time.Time // injectable for tests
+	max int
+
+	cwnd  float64   // continuous window; cached rounds it for readers
+	wMax  float64   // window at the last decrease (the CUBIC plateau)
+	k     float64   // seconds from epoch back to wMax on the cubic curve
+	epoch time.Time // start of the current growth epoch; zero = unset
+
+	srtt, rttvar time.Duration // RFC 6298 smoothed RTT and variance
+	minRTT       time.Duration // observed floor, the inflation baseline
+	lastDecrease time.Time
+
+	cached atomic.Int64
+}
+
+func newWindowController(max int, now func() time.Time) *windowController {
+	w := &windowController{now: now, max: max, cwnd: 1}
+	w.cached.Store(1)
+	return w
+}
+
+// current returns the integer window without taking the lock.
+func (w *windowController) current() int { return int(w.cached.Load()) }
+
+// onAck folds one completed request into the estimator and the window.
+// rtt ≤ 0 means the sample is unusable (clock step); congested marks an
+// explicit shed.
+func (w *windowController) onAck(rtt time.Duration, congested bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	if rtt > 0 {
+		if w.minRTT == 0 || rtt < w.minRTT {
+			w.minRTT = rtt
+		}
+		if w.srtt == 0 {
+			w.srtt = rtt
+			w.rttvar = rtt / 2
+		} else {
+			d := w.srtt - rtt
+			if d < 0 {
+				d = -d
+			}
+			w.rttvar += (d - w.rttvar) / 4
+			w.srtt += (rtt - w.srtt) / 8
+		}
+		if !congested && float64(rtt) > rttInflation*float64(w.minRTT) {
+			congested = true
+		}
+	}
+	if congested {
+		if w.lastDecrease.IsZero() || now.Sub(w.lastDecrease) >= w.srtt {
+			w.lastDecrease = now
+			w.wMax = w.cwnd
+			w.cwnd = math.Max(1, w.cwnd*cubicBeta)
+			w.k = math.Cbrt(w.wMax * (1 - cubicBeta) / cubicC)
+			w.epoch = now
+		}
+	} else {
+		if w.epoch.IsZero() {
+			// First ack (or first after a reset): probe from here.
+			w.epoch = now
+			w.wMax = w.cwnd
+			w.k = 0
+		}
+		t := now.Sub(w.epoch).Seconds()
+		target := cubicC*math.Pow(t-w.k, 3) + w.wMax
+		// TCP-friendly region (RFC 8312 §4.2): near the plateau the cubic
+		// curve is almost flat — from a small wMax it would take seconds
+		// to grow at all — so the window never drops below what a linear
+		// AIMD flow would have earned in the same time.
+		if w.srtt > 0 {
+			est := w.wMax*cubicBeta + 3*(1-cubicBeta)/(1+cubicBeta)*(t/w.srtt.Seconds())
+			target = math.Max(target, est)
+		}
+		if target > w.cwnd {
+			// Approach the target one ack at a time — at most +1 per ack,
+			// CUBIC's pacing — rather than jumping: a burst of late acks
+			// must not teleport the window to wherever the curve has
+			// climbed meanwhile.
+			w.cwnd += math.Min((target-w.cwnd)/w.cwnd, 1)
+		}
+		if w.cwnd > float64(w.max) {
+			w.cwnd = float64(w.max)
+		}
+	}
+	w.cached.Store(int64(w.cwnd))
+}

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the controller deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func TestWindowGrowsOnHealthyAcks(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newWindowController(32, clk.now)
+	if w.current() != 1 {
+		t.Fatalf("initial window %d, want 1", w.current())
+	}
+	// A steady stream of healthy acks at a constant RTT: the window must
+	// climb monotonically to the cap and stop there.
+	last := w.current()
+	for i := 0; i < 800; i++ {
+		clk.advance(10 * time.Millisecond)
+		w.onAck(10*time.Millisecond, false)
+		if cur := w.current(); cur < last {
+			t.Fatalf("window shrank %d→%d on a healthy ack", last, cur)
+		} else {
+			last = cur
+		}
+	}
+	if last != 32 {
+		t.Fatalf("window %d after 8s of healthy acks, want the 32 cap", last)
+	}
+}
+
+func TestWindowBacksOffOnShed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newWindowController(64, clk.now)
+	for i := 0; i < 400; i++ {
+		clk.advance(10 * time.Millisecond)
+		w.onAck(10*time.Millisecond, false)
+	}
+	before := w.current()
+	if before < 8 {
+		t.Fatalf("window only reached %d before the shed", before)
+	}
+	clk.advance(10 * time.Millisecond)
+	w.onAck(10*time.Millisecond, true)
+	after := w.current()
+	if want := int(float64(before) * cubicBeta); after > want+1 || after < want-1 {
+		t.Fatalf("shed took window %d→%d, want ≈ %d (β=%.1f)", before, after, want, cubicBeta)
+	}
+
+	// A burst of sheds inside one smoothed RTT is ONE congestion event:
+	// the window must not collapse multiplicatively per response.
+	for i := 0; i < 10; i++ {
+		clk.advance(100 * time.Microsecond)
+		w.onAck(10*time.Millisecond, true)
+	}
+	if got := w.current(); got != after {
+		t.Fatalf("shed burst inside one RTT moved window %d→%d", after, got)
+	}
+
+	// After the burst, growth resumes and re-approaches the plateau.
+	for i := 0; i < 400; i++ {
+		clk.advance(10 * time.Millisecond)
+		w.onAck(10*time.Millisecond, false)
+	}
+	if got := w.current(); got <= after {
+		t.Fatalf("window stuck at %d after congestion cleared", got)
+	}
+}
+
+func TestWindowBacksOffOnRTTInflation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newWindowController(64, clk.now)
+	for i := 0; i < 300; i++ {
+		clk.advance(5 * time.Millisecond)
+		w.onAck(5*time.Millisecond, false)
+	}
+	before := w.current()
+	// RTTs jump past rttInflation × the 5ms floor with no explicit shed:
+	// server queues are absorbing the overload and the controller must
+	// read that as congestion.
+	clk.advance(20 * time.Millisecond)
+	w.onAck(20*time.Millisecond, false)
+	if got := w.current(); got >= before {
+		t.Fatalf("window %d→%d on a %gx-inflated RTT, want a decrease", before, got, 20.0/5.0)
+	}
+}
+
+func TestWindowFloorAndCeiling(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := newWindowController(4, clk.now)
+	// Hammer with congestion: the window never leaves [1, 4].
+	for i := 0; i < 100; i++ {
+		clk.advance(50 * time.Millisecond)
+		w.onAck(10*time.Millisecond, true)
+		if cur := w.current(); cur < 1 || cur > 4 {
+			t.Fatalf("window %d outside [1, 4]", cur)
+		}
+	}
+	if w.current() != 1 {
+		t.Fatalf("window %d after sustained congestion, want the floor 1", w.current())
+	}
+	// Zero and negative RTT samples (clock steps) must not poison state.
+	w.onAck(0, false)
+	w.onAck(-time.Second, false)
+	if cur := w.current(); cur < 1 || cur > 4 {
+		t.Fatalf("window %d after degenerate samples", cur)
+	}
+}

@@ -1,0 +1,343 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"pargeo/client"
+	"pargeo/internal/engine"
+	"pargeo/internal/generators"
+	"pargeo/internal/geom"
+	"pargeo/internal/server"
+)
+
+// overloadBench measures graceful degradation: what happens to goodput
+// and to the tail latency of the requests that still SUCCEED when the
+// offered load is pushed past what the serving path can absorb.
+//
+// The experiment has two phases:
+//
+//  1. A saturation probe: closed-loop unbatched callers hammer the
+//     server and the sustained successful throughput is taken as the
+//     saturation rate of the per-request serving path. Sheds during the
+//     probe are expected (that is the admission controller doing its
+//     job) — callers back off by the server's retry hint and only
+//     successes count.
+//
+//  2. An open-loop sweep at {0.5, 1, 1.5, 2}× that rate through an
+//     adaptive-window client (Options.MaxWindow): requests arrive on a
+//     Poisson schedule whether or not the server is keeping up, each
+//     latency is measured from the request's SCHEDULED arrival (no
+//     coordinated omission), and a shed — ErrOverloaded, never a hang —
+//     is counted against goodput instead of aborting the run. Load is
+//     mixed 3:1 KNN:insert, classed and budgeted separately by the
+//     server's admission gates.
+//
+// The committed BENCH_overload.json rows are the goodput at each
+// multiplier plus p50/p99/p999 of the successful requests per class;
+// -overload-assert additionally gates the graceful-degradation contract
+// in-process (goodput at 2× within 80% of the best observed goodput,
+// successful-read p99 bounded), which is what the nightly stress job
+// runs.
+func overloadBench(n int, seed uint64, measure time.Duration, assert bool) {
+	fmt.Println("=== overload: admission control & backpressure at 0.5–2× saturation (2D uniform) ===")
+	const (
+		dim       = 2
+		knnK      = 8
+		insFrac   = 0.25 // fraction of arrivals that are inserts
+		sweepReps = 3    // windows per multiplier; percentiles are medians
+	)
+	fatal := func(err error) {
+		fmt.Fprintf(os.Stderr, "overloadbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Finite budgets everywhere: per-class admission at the server,
+	// bounded commit queue at the engine. These scale with the host so
+	// the probe can actually reach saturation rather than the limits.
+	procs := runtime.GOMAXPROCS(0)
+	lim := server.Limits{
+		Reads:   max(4, 2*procs),
+		Writes:  max(2, procs),
+		Control: 4,
+	}
+	eng := engine.New(dim, engine.Options{Shards: 4, MaxPending: 32})
+	seedPts := generators.UniformCube(n, dim, seed)
+	if res := eng.Insert(seedPts); res.Err != nil {
+		fatal(res.Err)
+	}
+	domain := geom.BoundingBoxAll(seedPts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.NewWithLimits(eng, dim, ln, lim)
+	go srv.Serve() //nolint:errcheck // exits nil on Shutdown
+	defer func() { srv.Shutdown(); eng.Close() }()
+	addr := ln.Addr().String()
+
+	span := func(rng *rand.Rand) []float64 {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = domain.Min[d] + rng.Float64()*(domain.Max[d]-domain.Min[d])
+		}
+		return p
+	}
+
+	// --- phase 1: saturation probe ---------------------------------------
+	peak := probeSaturation(addr, span, measure, insFrac, knnK, fatal)
+	fmt.Printf("saturation: %.0f ops/s sustained by %d closed-loop unbatched callers "+
+		"(limits reads=%d writes=%d, engine max-pending=32)\n\n", peak, probeCallers, lim.Reads, lim.Writes)
+	record(BenchRecord{Experiment: "overload", Name: "peak-closed", N: n, Dim: dim,
+		Seconds: measure.Seconds(), OpsPerSec: peak})
+
+	// --- phase 2: open-loop sweep -----------------------------------------
+	// One adaptive-window client carries the whole sweep: the window
+	// grows while responses are healthy and backs off on sheds or RTT
+	// inflation, so client-side merging depth adapts to the overload.
+	c, err := client.DialWith(addr, client.Options{MaxWindow: 32})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	rows := make([]sweepRow, 0, 4)
+	for _, mult := range []float64{0.5, 1.0, 1.5, 2.0} {
+		row := sweepRow{mult: mult, knnLat: make([][]float64, sweepReps), insLat: make([][]float64, sweepReps)}
+		rng := rand.New(rand.NewSource(int64(seed) ^ int64(mult*1000)))
+		for rep := 0; rep < sweepReps; rep++ {
+			res := overloadWindow(c, span, peak*mult, measure, insFrac, knnK, rng, fatal)
+			row.knnLat[rep], row.insLat[rep] = res.knnLat, res.insLat
+			row.knnOK += res.knnOK
+			row.insOK += res.insOK
+			row.knnShed += res.knnShed
+			row.insShed += res.insShed
+		}
+		secs := measure.Seconds() * sweepReps
+		row.goodput = float64(row.knnOK+row.insOK) / secs
+		row.shed = float64(row.knnShed+row.insShed) / secs
+		rows = append(rows, row)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "load\toffered/s\tgoodput/s\tshed/s\tknn p50\tknn p99\tknn p999\tins p99")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%.1fx\t%.0f\t%.0f\t%.0f\t%s\t%s\t%s\t%s\n",
+			row.mult, peak*row.mult, row.goodput, row.shed,
+			time.Duration(medianPctile(row.knnLat, 50)),
+			time.Duration(medianPctile(row.knnLat, 99)),
+			time.Duration(medianPctile(row.knnLat, 99.9)),
+			time.Duration(medianPctile(row.insLat, 99)))
+	}
+	w.Flush()
+
+	for _, row := range rows {
+		tag := fmt.Sprintf("%.1fx", row.mult)
+		record(BenchRecord{Experiment: "overload", Name: "goodput-" + tag, N: n, Dim: dim,
+			Seconds: measure.Seconds(), OpsPerSec: row.goodput})
+		// Percentile rows are committed only for the healthy (0.5×) and
+		// overloaded (2×) regimes the degradation contract is about. At
+		// offered loads pinned to ρ≈1 the queue is a critical random walk
+		// and its tail has unbounded variance across runs — a p99 there
+		// swings 30× run to run and would make the compare gate flake.
+		if row.mult != 0.5 && row.mult != 2.0 {
+			continue
+		}
+		for _, p := range []struct {
+			tag string
+			v   float64
+		}{
+			{"knn-p50", medianPctile(row.knnLat, 50)},
+			{"knn-p99", medianPctile(row.knnLat, 99)},
+			{"knn-p999", medianPctile(row.knnLat, 99.9)},
+			{"insert-p50", medianPctile(row.insLat, 50)},
+			{"insert-p99", medianPctile(row.insLat, 99)},
+			{"insert-p999", medianPctile(row.insLat, 99.9)},
+		} {
+			record(BenchRecord{Experiment: "overload", Name: p.tag + "-" + tag, N: n, Dim: dim,
+				Seconds: measure.Seconds(), NsPerOp: p.v})
+		}
+	}
+
+	if assert {
+		assertGracefulDegradation(peak, rows, fatal)
+	}
+}
+
+// sweepRow is one open-loop multiplier's aggregate over its windows.
+type sweepRow struct {
+	mult             float64
+	goodput, shed    float64 // ops/s over the windows
+	knnLat, insLat   [][]float64
+	knnOK, insOK     int64
+	knnShed, insShed int64
+}
+
+// assertGracefulDegradation is the nightly stress gate: at 2× saturation
+// the system must still deliver ≥ 80% of the best goodput it showed
+// anywhere in the run, and the reads that DO succeed must stay fast —
+// shed-don't-queue means overload shows up as typed refusals, not as an
+// unbounded successful-request tail.
+func assertGracefulDegradation(peak float64, rows []sweepRow, fatal func(error)) {
+	best := peak
+	for _, row := range rows {
+		if row.goodput > best {
+			best = row.goodput
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.goodput < 0.8*best {
+		fatal(fmt.Errorf("graceful degradation violated: goodput at 2x saturation is %.0f ops/s, "+
+			"< 80%% of best observed %.0f ops/s", last.goodput, best))
+	}
+	if p99 := medianPctile(last.knnLat, 99); p99 > float64(time.Second) {
+		fatal(fmt.Errorf("graceful degradation violated: successful-read p99 at 2x saturation is %s, "+
+			"> 1s bound", time.Duration(p99)))
+	}
+	fmt.Printf("\noverload-assert: PASS (goodput at 2x = %.0f%% of best %.0f ops/s, knn p99 %s)\n",
+		100*last.goodput/best, best, time.Duration(medianPctile(last.knnLat, 99)))
+}
+
+const probeCallers = 16
+
+// probeSaturation runs closed-loop unbatched callers against the server
+// and returns the sustained SUCCESSFUL throughput — the saturation rate
+// of the per-request serving path. Callers past the admission budgets
+// are shed; they honor the server's retry hint and only successes count,
+// so the probe measures capacity, not the shed rate.
+func probeSaturation(addr string, span func(*rand.Rand) []float64, measure time.Duration,
+	insFrac float64, knnK int, fatal func(error)) float64 {
+	clients := make([]*client.Client, probeCallers)
+	for i := range clients {
+		uc, err := client.DialWith(addr, client.Options{NoBatch: true})
+		if err != nil {
+			fatal(err)
+		}
+		defer uc.Close()
+		clients[i] = uc
+	}
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	stop := time.Now().Add(measure)
+	for g := 0; g < probeCallers; g++ {
+		cc := clients[g]
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 7))
+			for time.Now().Before(stop) {
+				var err error
+				var hint time.Duration
+				if rng.Float64() < insFrac {
+					res := cc.Insert(geom.Points{Data: span(rng), Dim: 2})
+					err = res.Err
+				} else {
+					_, err = cc.KNN(span(rng), knnK)
+				}
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, client.ErrOverloaded):
+					var oe *client.OverloadedError
+					if errors.As(err, &oe) {
+						hint = oe.RetryAfter
+					}
+					if hint <= 0 {
+						hint = time.Millisecond
+					}
+					time.Sleep(hint)
+				default:
+					fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(ok.Load()) / measure.Seconds()
+}
+
+// overloadResult is one open-loop window's outcome: per-class success
+// latencies (ns, from scheduled arrival) and shed counts.
+type overloadResult struct {
+	knnLat, insLat   []float64
+	knnOK, insOK     int64
+	knnShed, insShed int64
+}
+
+// overloadWindow fires one open-loop window of mixed load at rate/s.
+// Unlike the serve experiment's openLoop, a shed is an expected outcome
+// here — it is counted, not fatal — and only successful requests
+// contribute latencies. Any OTHER error (hang, corrupt frame, dropped
+// connection) still aborts the run: overload must surface as typed
+// StatusOverloaded and nothing else.
+func overloadWindow(c *client.Client, span func(*rand.Rand) []float64, rate float64,
+	measure time.Duration, insFrac float64, knnK int, rng *rand.Rand, fatal func(error)) overloadResult {
+	var scheduled []time.Duration
+	for t := time.Duration(0); ; {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= measure {
+			break
+		}
+		scheduled = append(scheduled, t)
+	}
+	nReq := len(scheduled)
+	isInsert := make([]bool, nReq)
+	rngs := make([]*rand.Rand, nReq)
+	for i := range rngs {
+		isInsert[i] = rng.Float64() < insFrac
+		rngs[i] = rand.New(rand.NewSource(rng.Int63()))
+	}
+	lat := make([]float64, nReq)
+	shed := make([]bool, nReq)
+	var wg sync.WaitGroup
+	start := time.Now().Add(5 * time.Millisecond)
+	for i, off := range scheduled {
+		at := start.Add(off)
+		time.Sleep(time.Until(at))
+		wg.Add(1)
+		go func(i int, at time.Time) {
+			defer wg.Done()
+			var err error
+			if isInsert[i] {
+				res := c.Insert(geom.Points{Data: span(rngs[i]), Dim: 2})
+				err = res.Err
+			} else {
+				_, err = c.KNN(span(rngs[i]), knnK)
+			}
+			switch {
+			case err == nil:
+				lat[i] = float64(time.Since(at).Nanoseconds())
+			case errors.Is(err, client.ErrOverloaded):
+				shed[i] = true
+			default:
+				fatal(err)
+			}
+		}(i, at)
+	}
+	wg.Wait()
+	var res overloadResult
+	for i := 0; i < nReq; i++ {
+		switch {
+		case shed[i] && isInsert[i]:
+			res.insShed++
+		case shed[i]:
+			res.knnShed++
+		case isInsert[i]:
+			res.insOK++
+			res.insLat = append(res.insLat, lat[i])
+		default:
+			res.knnOK++
+			res.knnLat = append(res.knnLat, lat[i])
+		}
+	}
+	return res
+}

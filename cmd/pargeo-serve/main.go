@@ -5,6 +5,12 @@
 // to completion with their responses flushed, and only then does the
 // engine close (flushing the WAL tail), so every acknowledged update is
 // covered by the durability contract across a restart.
+//
+// -max-reads/-max-writes/-max-control bound the in-flight requests per
+// admission class and -max-pending bounds each engine commit queue;
+// load past a budget is shed immediately with a typed StatusOverloaded
+// response carrying a retry-after hint (see internal/server). All
+// default to unlimited.
 package main
 
 import (
@@ -29,17 +35,25 @@ func main() {
 		syncEvery = flag.Int("sync-every", 1, "fsync cadence: 1 = every commit (strict), K>1 = group of K (relaxed)")
 		ckptEvery = flag.Int("checkpoint-every", 4096, "automatic checkpoint after N WAL records (0 = manual only)")
 		rebalance = flag.Bool("rebalance", true, "run the online shard rebalancer")
+
+		// Overload control: finite budgets shed excess load with a typed
+		// StatusOverloaded + retry hint instead of queueing it (0 = unlimited).
+		maxReads   = flag.Int("max-reads", 0, "max in-flight read requests (KNN/range) before shedding; 0 = unlimited")
+		maxWrites  = flag.Int("max-writes", 0, "max in-flight update requests before shedding; 0 = unlimited")
+		maxControl = flag.Int("max-control", 0, "max in-flight control requests (epoch/checkpoint/stats) before shedding; 0 = unlimited")
+		maxPending = flag.Int("max-pending", 0, "max updates parked on any engine commit queue before shedding; 0 = unlimited")
 	)
 	flag.Parse()
 	log.SetPrefix("pargeo-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	if err := run(*addr, *dir, *dim, *shards, *syncEvery, *ckptEvery, *rebalance); err != nil {
+	lim := server.Limits{Reads: *maxReads, Writes: *maxWrites, Control: *maxControl}
+	if err := run(*addr, *dir, *dim, *shards, *syncEvery, *ckptEvery, *rebalance, *maxPending, lim); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, dir string, dim, shards, syncEvery, ckptEvery int, rebalance bool) error {
-	opts := engine.Options{Shards: shards, Rebalance: rebalance}
+func run(addr, dir string, dim, shards, syncEvery, ckptEvery int, rebalance bool, maxPending int, lim server.Limits) error {
+	opts := engine.Options{Shards: shards, Rebalance: rebalance, MaxPending: maxPending}
 	if dir != "" {
 		opts.Durability = &engine.Durability{
 			Dir:             dir,
@@ -56,10 +70,10 @@ func run(addr, dir string, dim, shards, syncEvery, ckptEvery int, rebalance bool
 		eng.Close()
 		return err
 	}
-	srv := server.New(eng, dim, ln)
+	srv := server.NewWithLimits(eng, dim, ln, lim)
 	st := eng.Stats()
-	log.Printf("listening on %s (dim=%d shards=%d epoch=%d size=%d durable=%v)",
-		ln.Addr(), dim, eng.Shards(), st.Epoch, st.Size, dir != "")
+	log.Printf("listening on %s (dim=%d shards=%d epoch=%d size=%d durable=%v limits=reads:%d,writes:%d,control:%d)",
+		ln.Addr(), dim, eng.Shards(), st.Epoch, st.Size, dir != "", lim.Reads, lim.Writes, lim.Control)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"math"
 	"runtime"
 	"sort"
@@ -56,6 +57,18 @@ type Options struct {
 	// load exceeds RebalanceFactor times the shard average
 	// (0 = DefaultRebalanceFactor).
 	RebalanceFactor float64
+	// MaxPending bounds each commit queue: when an update arrives while a
+	// combiner already has MaxPending requests parked behind its current
+	// commit, the update is shed immediately with ErrOverloaded instead of
+	// queuing without bound. Zero (the default) leaves the queues
+	// unbounded — the embedded-use contract, where callers ARE the bound.
+	// A serving deployment should set it: under a sustained arrival rate
+	// past saturation an unbounded queue converts overload into unbounded
+	// memory growth and unbounded ack latency, while a bounded one
+	// converts it into prompt, typed shedding. The bound is per combiner
+	// (each shard's stream plus the global stream), so the engine-wide
+	// queue is at most (Shards+1)×MaxPending requests.
+	MaxPending int
 	// Durability, when non-nil, makes the engine durable: committed
 	// batches are written ahead to a segmented, CRC-framed log and
 	// checkpoints capture the full state, so Open recovers everything
@@ -102,6 +115,12 @@ type updateReq struct {
 	done   chan struct{}
 	lead   chan struct{} // baton: receiver becomes the next committer
 }
+
+// ErrOverloaded is returned (via UpdateResult.Err) for updates shed at a
+// full commit queue on an engine with Options.MaxPending set. The update
+// was not applied at all; the caller may retry after backing off. The
+// server layer maps it to the wire's StatusOverloaded.
+var ErrOverloaded = errors.New("engine: overloaded: commit queue full")
 
 // combiner is one flat-combining queue: the first arrival becomes the
 // leader, later arrivals park, and a leader serves exactly one drained
@@ -312,6 +331,7 @@ type Engine struct {
 	statCommits     atomic.Uint64 // snapshot publishes (groups that changed state)
 	statQueries     atomic.Uint64 // query requests answered
 	statQueryGroups atomic.Uint64 // combined read passes run
+	statShed        atomic.Uint64 // updates shed at a full commit queue (MaxPending)
 }
 
 // knnPool returns the engine's shared buffer pool for k-neighbor queries.
@@ -472,14 +492,26 @@ func (e *Engine) Update(insert, del geom.Points) UpdateResult {
 	req.part = part
 	if part != nil {
 		if s, single := singleShard(part, insert, del); single {
-			e.submitUpdate(&e.shards[s].comb, req, func(group []*updateReq) {
+			if !e.submitUpdate(&e.shards[s].comb, req, func(group []*updateReq) {
 				e.commitShard(s, group)
-			})
+			}) {
+				return e.shedUpdate()
+			}
 			return e.noteUpdateDone(req.res)
 		}
 	}
-	e.submitUpdate(&e.global, req, e.commitGlobal)
+	if !e.submitUpdate(&e.global, req, e.commitGlobal) {
+		return e.shedUpdate()
+	}
 	return e.noteUpdateDone(req.res)
+}
+
+// shedUpdate rejects one update at a full commit queue. The reserved id
+// block is discarded — ids are engine-global and never reused, so a gap
+// is harmless — and nothing was routed, logged, or applied.
+func (e *Engine) shedUpdate() UpdateResult {
+	e.statShed.Add(1)
+	return UpdateResult{Err: ErrOverloaded}
 }
 
 // noteUpdateDone counts an acknowledged update on its way out.
@@ -526,14 +558,26 @@ func singleShard(p *partition, ins, del geom.Points) (int, bool) {
 // it, and pass the baton to a still-pending waiter. One group per leader
 // bounds every caller's latency to one commit beyond its own, however
 // sustained the write load.
-func (e *Engine) submitUpdate(c *combiner, req *updateReq, commit func([]*updateReq)) {
+//
+// With Options.MaxPending set, the enqueue is an admission decision: a
+// request that would be the (MaxPending+1)-th parked behind the running
+// commit is refused (returns false) without blocking — the commit queue
+// is bounded, so a sustained arrival rate past saturation turns into
+// prompt shedding instead of unbounded queue growth. An arrival that
+// would become the leader is always admitted: it starts a commit rather
+// than lengthening a queue.
+func (e *Engine) submitUpdate(c *combiner, req *updateReq, commit func([]*updateReq)) bool {
 	c.mu.Lock()
+	if max := e.opts.MaxPending; max > 0 && c.active && len(c.pending) >= max {
+		c.mu.Unlock()
+		return false
+	}
 	c.pending = append(c.pending, req)
 	if c.active {
 		c.mu.Unlock()
 		select {
 		case <-req.done:
-			return
+			return true
 		case <-req.lead:
 		}
 	} else {
@@ -552,6 +596,7 @@ func (e *Engine) submitUpdate(c *combiner, req *updateReq, commit func([]*update
 		close(c.pending[0].lead)
 	}
 	c.mu.Unlock()
+	return true
 }
 
 // noteDrift counts a group's inserted rows that fall outside part's world

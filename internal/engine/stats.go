@@ -26,6 +26,15 @@ type Stats struct {
 	Queries uint64
 	// QueryGroups counts combined read passes run.
 	QueryGroups uint64
+	// Shed counts updates rejected with ErrOverloaded at a full commit
+	// queue (Options.MaxPending). Always zero with MaxPending unset.
+	Shed uint64
+	// CommitQueue is the number of updates currently parked on the commit
+	// queues (every shard's stream plus the global stream), sampled at the
+	// Stats call. With MaxPending set it is bounded by
+	// (Shards+1)×MaxPending; the ratio against that bound is the
+	// backpressure gauge a serving layer watches.
+	CommitQueue uint64
 }
 
 // Stats returns the engine's serving counters. The counters are read
@@ -43,9 +52,28 @@ func (e *Engine) Stats() Stats {
 		Commits:      e.statCommits.Load(),
 		Queries:      e.statQueries.Load(),
 		QueryGroups:  e.statQueryGroups.Load(),
+		Shed:         e.statShed.Load(),
+		CommitQueue:  e.queueDepth(),
 	}
 	if e.log != nil {
 		s.DurableEpoch = e.log.DurableEpoch()
 	}
 	return s
+}
+
+// queueDepth sums the pending counts of every commit queue. Each queue is
+// read under its own lock, so the sum is a consistent-enough sample for a
+// gauge, not an atomic snapshot of all queues at one instant.
+func (e *Engine) queueDepth() uint64 {
+	depth := func(c *combiner) uint64 {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		return uint64(n)
+	}
+	total := depth(&e.global)
+	for _, sh := range e.shards {
+		total += depth(&sh.comb)
+	}
+	return total
 }

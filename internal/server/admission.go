@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pargeo/internal/wire"
+)
+
+// Limits bounds the number of concurrently executing requests per class.
+// Zero for a class means unlimited — the pre-admission behavior. A
+// request arriving at a full class is shed immediately with
+// StatusOverloaded and a retry hint; it never queues server-side, so an
+// overloaded server's response time stays flat instead of growing with
+// the backlog (the clients hold the queue, where it can be shed by
+// deadlines the server cannot see).
+type Limits struct {
+	// Reads bounds in-flight KNN, RangeSearch, and RangeCount requests.
+	Reads int
+	// Writes bounds in-flight Update requests.
+	Writes int
+	// Control bounds in-flight Epoch, Checkpoint, and Stats requests.
+	Control int
+}
+
+// Request classes. Hello is unclassed: the handshake is one tiny
+// engine-free response per connection and must not be shed — a client
+// that cannot even learn the dimension cannot back off intelligently.
+const (
+	classRead = iota
+	classWrite
+	classControl
+	numClasses
+
+	classNone = -1
+)
+
+// classOf maps a wire op to its admission class.
+func classOf(op byte) int {
+	switch op {
+	case wire.OpKNN, wire.OpRange, wire.OpRangeCount:
+		return classRead
+	case wire.OpUpdate:
+		return classWrite
+	case wire.OpEpoch, wire.OpCheckpoint, wire.OpStats:
+		return classControl
+	default:
+		return classNone
+	}
+}
+
+var className = [numClasses]string{"reads", "writes", "control"}
+
+// admission is the server's per-class load shedder: a fixed in-flight
+// budget per class, counters for observability, and a service-time EWMA
+// that prices the retry hint returned with each shed.
+type admission struct {
+	gates [numClasses]gate
+}
+
+type gate struct {
+	limit    int64
+	inflight atomic.Int64
+	shed     atomic.Uint64
+	// ewmaNanos tracks the class's smoothed service time (α = 1/8, the
+	// RFC 6298 sRTT gain). Plain load/update/store: a lost update under a
+	// race skews a hint, not an invariant.
+	ewmaNanos atomic.Uint64
+}
+
+func (a *admission) init(lim Limits) {
+	a.gates[classRead].limit = int64(lim.Reads)
+	a.gates[classWrite].limit = int64(lim.Writes)
+	a.gates[classControl].limit = int64(lim.Control)
+}
+
+// admit reserves an in-flight slot for class, or sheds. classNone always
+// admits without reserving (release ignores it symmetrically).
+func (a *admission) admit(class int) bool {
+	if class == classNone {
+		return true
+	}
+	g := &a.gates[class]
+	if g.limit <= 0 {
+		g.inflight.Add(1)
+		return true
+	}
+	if g.inflight.Add(1) > g.limit {
+		g.inflight.Add(-1)
+		g.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) release(class int) {
+	if class == classNone {
+		return
+	}
+	a.gates[class].inflight.Add(-1)
+}
+
+// observe folds one completed request's service time into its class EWMA.
+func (a *admission) observe(class int, d time.Duration) {
+	if class == classNone || d < 0 {
+		return
+	}
+	g := &a.gates[class]
+	old := g.ewmaNanos.Load()
+	if old == 0 {
+		g.ewmaNanos.Store(uint64(d))
+		return
+	}
+	g.ewmaNanos.Store(old - old/8 + uint64(d)/8)
+}
+
+// retryAfterMillis prices a shed: roughly one smoothed service time — the
+// expected wait for an in-flight slot to free — clamped to [1ms, 1s] so a
+// cold EWMA still tells the client to pause and a pathological one cannot
+// park it for minutes.
+func (a *admission) retryAfterMillis(class int) uint32 {
+	var ewma uint64
+	if class != classNone {
+		ewma = a.gates[class].ewmaNanos.Load()
+	}
+	ms := ewma / uint64(time.Millisecond)
+	if ms < 1 {
+		return 1
+	}
+	if ms > 1000 {
+		return 1000
+	}
+	return uint32(ms)
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pargeo/internal/wire"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := map[byte]int{
+		wire.OpKNN: classRead, wire.OpRange: classRead, wire.OpRangeCount: classRead,
+		wire.OpUpdate: classWrite,
+		wire.OpEpoch:  classControl, wire.OpCheckpoint: classControl, wire.OpStats: classControl,
+		wire.OpHello: classNone,
+	}
+	for op, want := range cases {
+		if got := classOf(op); got != want {
+			t.Errorf("classOf(%d) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// TestGateBudget: exactly limit admissions in flight; the limit+1'th
+// sheds; a release readmits; classes do not share budget.
+func TestGateBudget(t *testing.T) {
+	var a admission
+	a.init(Limits{Reads: 2, Writes: 1})
+	for i := 0; i < 2; i++ {
+		if !a.admit(classRead) {
+			t.Fatalf("read %d shed under its budget", i)
+		}
+	}
+	if a.admit(classRead) {
+		t.Fatal("third read admitted past Reads=2")
+	}
+	if got := a.gates[classRead].shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+	// A full read gate must not leak into writes or control.
+	if !a.admit(classWrite) {
+		t.Fatal("write shed by the read gate")
+	}
+	if !a.admit(classControl) {
+		t.Fatal("unlimited control class shed")
+	}
+	a.release(classRead)
+	if !a.admit(classRead) {
+		t.Fatal("read shed after a release freed a slot")
+	}
+	// Hello never consumes a slot.
+	for i := 0; i < 100; i++ {
+		if !a.admit(classNone) {
+			t.Fatal("classNone shed")
+		}
+	}
+}
+
+// TestGateBudgetConcurrent: under a storm of admit/release pairs the
+// in-flight count never exceeds the limit and ends at zero — the
+// add-then-check admission is exact, not approximate.
+func TestGateBudgetConcurrent(t *testing.T) {
+	var a admission
+	a.init(Limits{Writes: 3})
+	var wg sync.WaitGroup
+	var admitted, shed int
+	var mu sync.Mutex
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if a.admit(classWrite) {
+					if n := a.gates[classWrite].inflight.Load(); n > 3 {
+						t.Errorf("in-flight %d > limit 3", n)
+					}
+					a.release(classWrite)
+					mu.Lock()
+					admitted++
+					mu.Unlock()
+				} else {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := a.gates[classWrite].inflight.Load(); n != 0 {
+		t.Fatalf("in-flight %d after all released", n)
+	}
+	if got := a.gates[classWrite].shed.Load(); got != uint64(shed) {
+		t.Fatalf("shed counter %d, callers saw %d", got, shed)
+	}
+	if admitted+shed != 16*1000 {
+		t.Fatalf("accounting: %d admitted + %d shed != %d", admitted, shed, 16*1000)
+	}
+}
+
+// TestRetryHint: the hint tracks the service-time EWMA and clamps to
+// [1ms, 1s] at both ends.
+func TestRetryHint(t *testing.T) {
+	var a admission
+	a.init(Limits{Reads: 1})
+	if got := a.retryAfterMillis(classRead); got != 1 {
+		t.Fatalf("cold hint %dms, want the 1ms floor", got)
+	}
+	a.observe(classRead, 40*time.Millisecond)
+	if got := a.retryAfterMillis(classRead); got != 40 {
+		t.Fatalf("hint after first observation %dms, want 40", got)
+	}
+	// EWMA smooths: one 8ms outlier moves a 40ms estimate by (8-40)/8.
+	a.observe(classRead, 8*time.Millisecond)
+	if got := a.retryAfterMillis(classRead); got != 36 {
+		t.Fatalf("smoothed hint %dms, want 36", got)
+	}
+	a.observe(classRead, time.Hour)
+	if got := a.retryAfterMillis(classRead); got != 1000 {
+		t.Fatalf("pathological hint %dms, want the 1s ceiling", got)
+	}
+	a.observe(classRead, -time.Second) // clock step: ignored, not folded in
+	if got := a.retryAfterMillis(classRead); got != 1000 {
+		t.Fatalf("hint after negative duration %dms, want 1000", got)
+	}
+}

@@ -1,0 +1,39 @@
+// Package server serves an engine over the wire protocol. One Server
+// wraps one engine and one net.Listener; each accepted connection gets a
+// reader goroutine, and every decoded request runs in its own goroutine —
+// the server deliberately does NO batching of its own, because the
+// engine's flat-combining committers and query group leaders already
+// coalesce concurrent requests across all connections. A server-side
+// queue would only serialize what the engine wants to see in parallel.
+//
+// # Admission control
+//
+// A server built with NewWithLimits bounds the number of concurrently
+// executing requests per class — reads (KNN, RangeSearch, RangeCount),
+// writes (Update), and control (Epoch, Checkpoint, Stats) — so that one
+// class saturating cannot starve the others of goroutines or engine
+// passes. A request arriving at a full class is answered immediately
+// with StatusOverloaded and a retry-after hint priced from the class's
+// smoothed service time; it is never queued server-side. That keeps the
+// server's response latency flat under overload: the backlog lives in
+// the clients, which can apply deadlines and backoff the server cannot.
+// Hello is exempt (the handshake must always succeed so a client can
+// learn enough to back off), and shutdown still wins — a request racing
+// Shutdown gets StatusClosed, not StatusOverloaded. The engine's own
+// commit-queue bound (engine.Options.MaxPending) surfaces through the
+// same status, so clients see one backpressure signal regardless of
+// which layer shed.
+//
+// Per-class shed counters and in-flight gauges join the engine counters
+// in the Stats op ("shed_reads", "inflight_writes", ...), alongside the
+// engine's "shed" and "commit_queue".
+//
+// # Shutdown
+//
+// Shutdown is a drain, not an abort: Shutdown stops the accept loop,
+// fails fresh requests with StatusClosed, waits for every in-flight
+// request to commit and its response to be written, then closes the
+// connections. Only after Shutdown returns does the caller close the
+// engine — so an acknowledged response always corresponds to an update
+// the engine's durability contract covers.
+package server

@@ -1,17 +1,3 @@
-// Package server serves an engine over the wire protocol. One Server
-// wraps one engine and one net.Listener; each accepted connection gets a
-// reader goroutine, and every decoded request runs in its own goroutine —
-// the server deliberately does NO batching of its own, because the
-// engine's flat-combining committers and query group leaders already
-// coalesce concurrent requests across all connections. A server-side
-// queue would only serialize what the engine wants to see in parallel.
-//
-// Shutdown is a drain, not an abort: Shutdown stops the accept loop,
-// fails fresh requests with StatusClosed, waits for every in-flight
-// request to commit and its response to be written, then closes the
-// connections. Only after Shutdown returns does the caller close the
-// engine — so an acknowledged response always corresponds to an update
-// the engine's durability contract covers.
 package server
 
 import (
@@ -20,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pargeo/internal/engine"
 	"pargeo/internal/wire"
@@ -30,6 +17,7 @@ type Server struct {
 	eng *engine.Engine
 	ln  net.Listener
 	dim int
+	adm admission
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -42,9 +30,19 @@ type Server struct {
 	requests atomic.Uint64 // requests answered (any status)
 }
 
-// New returns a server for eng on ln. Call Serve to start accepting.
+// New returns a server for eng on ln with no admission limits. Call
+// Serve to start accepting.
 func New(eng *engine.Engine, dim int, ln net.Listener) *Server {
-	return &Server{eng: eng, ln: ln, dim: dim, conns: map[net.Conn]struct{}{}}
+	return NewWithLimits(eng, dim, ln, Limits{})
+}
+
+// NewWithLimits returns a server that sheds requests beyond the
+// per-class in-flight budgets in lim (see Limits). Call Serve to start
+// accepting.
+func NewWithLimits(eng *engine.Engine, dim int, ln net.Listener, lim Limits) *Server {
+	s := &Server{eng: eng, ln: ln, dim: dim, conns: map[net.Conn]struct{}{}}
+	s.adm.init(lim)
+	return s
 }
 
 // Addr returns the listener's address.
@@ -142,6 +140,24 @@ func (s *Server) serveConn(nc net.Conn) {
 		if err != nil {
 			return // unsynchronized stream: drop the connection
 		}
+		// Admission first: a shed is answered inline on the reader
+		// goroutine — constant cost, no handler spawned, no engine touched
+		// — and the connection keeps serving. Backpressure rejects
+		// requests, never streams.
+		class := classOf(req.Op)
+		if !s.adm.admit(class) {
+			resp := &wire.Response{
+				Op: req.Op, ID: req.ID,
+				Status:           wire.StatusOverloaded,
+				RetryAfterMillis: s.adm.retryAfterMillis(class),
+				ErrMsg:           "server: overloaded (" + className[class] + ")",
+			}
+			s.requests.Add(1)
+			if c.writeFrame(wire.AppendResponse(nil, resp)) != nil {
+				return
+			}
+			continue
+		}
 		// The drain gate: a request that enters reqWG before Shutdown's
 		// reqWG.Wait() completes fully, response included; one arriving
 		// after the gate closes is answered StatusClosed without touching
@@ -149,18 +165,24 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			s.adm.release(class)
 			resp := &wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusClosed, ErrMsg: engine.ErrClosed.Error()}
 			c.writeFrame(wire.AppendResponse(nil, resp)) //nolint:errcheck // connection is closing anyway
 			return
 		}
 		s.reqWG.Add(1)
 		s.mu.Unlock()
-		go func(req wire.Request) {
+		go func(req wire.Request, class int) {
 			defer s.reqWG.Done()
+			// The slot is held through the response write: a slow-reading
+			// client consumes its own budget, not fresh admissions.
+			defer s.adm.release(class)
+			start := time.Now()
 			resp := s.handle(&req)
+			s.adm.observe(class, time.Since(start))
 			s.requests.Add(1)
 			c.writeFrame(wire.AppendResponse(nil, resp)) //nolint:errcheck // peer gone: nothing to tell it
-		}(req)
+		}(req, class)
 	}
 }
 
@@ -173,7 +195,7 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		resp.Shards = int32(s.eng.Shards())
 	case wire.OpKNN:
 		if req.K < 1 {
-			return fail(resp, fmt.Errorf("k = %d: want k ≥ 1", req.K))
+			return s.fail(resp, fmt.Errorf("k = %d: want k ≥ 1", req.K))
 		}
 		if n := req.Queries.Len(); n == 1 {
 			// Solo queries ride the engine's combiner so concurrent
@@ -191,7 +213,7 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpUpdate:
 		res := s.eng.Update(req.Ins, req.Del)
 		if res.Err != nil {
-			return fail(resp, res.Err)
+			return s.fail(resp, res.Err)
 		}
 		resp.IDs = res.IDs
 		resp.Deleted = uint64(res.Deleted)
@@ -200,7 +222,7 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		resp.Epoch = s.eng.Epoch()
 	case wire.OpCheckpoint:
 		if err := s.eng.Checkpoint(); err != nil {
-			return fail(resp, err)
+			return s.fail(resp, err)
 		}
 		resp.Epoch = s.eng.Stats().DurableEpoch
 	case wire.OpStats:
@@ -209,10 +231,17 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	return resp
 }
 
-func fail(resp *wire.Response, err error) *wire.Response {
+func (s *Server) fail(resp *wire.Response, err error) *wire.Response {
 	resp.Status = wire.StatusError
-	if errors.Is(err, engine.ErrClosed) {
+	switch {
+	case errors.Is(err, engine.ErrClosed):
 		resp.Status = wire.StatusClosed
+	case errors.Is(err, engine.ErrOverloaded):
+		// The engine's own commit-queue bound tripped: surface it exactly
+		// like a server-side shed so the client's backoff treats both
+		// layers' backpressure as one signal.
+		resp.Status = wire.StatusOverloaded
+		resp.RetryAfterMillis = s.adm.retryAfterMillis(classOf(resp.Op))
 	}
 	resp.ErrMsg = err.Error()
 	return resp
@@ -232,7 +261,15 @@ func (s *Server) statList() []wire.Stat {
 		{Name: "commits", Value: st.Commits},
 		{Name: "queries", Value: st.Queries},
 		{Name: "query_groups", Value: st.QueryGroups},
+		{Name: "shed", Value: st.Shed},
+		{Name: "commit_queue", Value: st.CommitQueue},
 		{Name: "connections", Value: s.accepted.Load()},
 		{Name: "requests", Value: s.requests.Load()},
+		{Name: "shed_reads", Value: s.adm.gates[classRead].shed.Load()},
+		{Name: "shed_writes", Value: s.adm.gates[classWrite].shed.Load()},
+		{Name: "shed_control", Value: s.adm.gates[classControl].shed.Load()},
+		{Name: "inflight_reads", Value: uint64(s.adm.gates[classRead].inflight.Load())},
+		{Name: "inflight_writes", Value: uint64(s.adm.gates[classWrite].inflight.Load())},
+		{Name: "inflight_control", Value: uint64(s.adm.gates[classControl].inflight.Load())},
 	}
 }

@@ -180,12 +180,20 @@ func TestBatchedCallsCorrect(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
 			q := []float64{rng.Float64() * 100, rng.Float64() * 100}
+			before := eng.Epoch()
 			ids, err := c.KNN(q, 2)
 			if err != nil {
 				errCh <- err
 				return
 			}
-			if direct := eng.KNN(q, 2); !reflect.DeepEqual(ids, direct) {
+			direct := eng.KNN(q, 2)
+			// The direct oracle races the other callers' inserts: it runs
+			// on whatever snapshot is current NOW, while the server
+			// answered on the snapshot current THEN. Only an unchanged
+			// epoch across the whole exchange proves both saw the same
+			// tree; otherwise a commit landed in between and a mismatch
+			// means nothing.
+			if eng.Epoch() == before && !reflect.DeepEqual(ids, direct) {
 				errCh <- fmt.Errorf("caller %d: KNN %v: got %v, want %v", g, q, ids, direct)
 			}
 			rows := 1 + g%3

@@ -57,6 +57,16 @@ func FuzzResponseDecode(f *testing.F) {
 	for i := range resps {
 		frames = append(frames, AppendResponse(nil, &resps[i]))
 	}
+	// Extra StatusOverloaded seeds beyond the samples: hint values at the
+	// u32 edges and a hint colliding with a message length, so mutations
+	// explore the retry-hint/message-length boundary specifically.
+	for _, r := range []Response{
+		{Op: OpRange, ID: 1, Status: StatusOverloaded, RetryAfterMillis: 1},
+		{Op: OpStats, ID: 2, Status: StatusOverloaded, RetryAfterMillis: 1 << 31, ErrMsg: "x"},
+		{Op: OpUpdate, ID: 3, Status: StatusOverloaded, RetryAfterMillis: 4, ErrMsg: "\x04\x00\x00\x00"},
+	} {
+		frames = append(frames, AppendResponse(nil, &r))
+	}
 	seedMutations(f, frames)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, n, err := DecodeResponse(data, 2)

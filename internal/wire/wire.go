@@ -27,7 +27,9 @@
 //	[1] op (echoes the request's)
 //	[8] request id
 //	[1] status
-//	status ≠ OK:  [4] message length, message bytes
+//	status = Overloaded: [4] retry-after hint (milliseconds),
+//	                     [4] message length, message bytes
+//	status ≠ OK (other): [4] message length, message bytes
 //	status = OK, op-specific body:
 //	  Hello        [4] dim, [4] shards
 //	  KNN          [4] n, n × { [4] m, m×[4] neighbor ids }
@@ -75,9 +77,10 @@ const (
 // typed errors: clients map StatusClosed back to their typed
 // server-closed error rather than matching message strings.
 const (
-	StatusOK     byte = 0 // op-specific body follows
-	StatusClosed byte = 1 // engine closed (engine.ErrClosed)
-	StatusError  byte = 2 // any other engine/server failure
+	StatusOK         byte = 0 // op-specific body follows
+	StatusClosed     byte = 1 // engine closed (engine.ErrClosed)
+	StatusError      byte = 2 // any other engine/server failure
+	StatusOverloaded byte = 3 // shed by admission control; retry-after hint follows
 )
 
 const (
@@ -118,6 +121,12 @@ type Response struct {
 	ID     uint64
 	Status byte
 	ErrMsg string // Status ≠ StatusOK
+
+	// RetryAfterMillis is the server's backoff hint on a StatusOverloaded
+	// response: roughly one current service time for the shed request's
+	// class, so a well-behaved client retries after the congestion it
+	// observed has had a chance to drain. Zero on every other status.
+	RetryAfterMillis uint32
 
 	Dim       int32     // OpHello
 	Shards    int32     // OpHello
@@ -182,6 +191,9 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	p = binary.LittleEndian.AppendUint64(p, r.ID)
 	p = append(p, r.Status)
 	if r.Status != StatusOK {
+		if r.Status == StatusOverloaded {
+			p = binary.LittleEndian.AppendUint32(p, r.RetryAfterMillis)
+		}
 		p = binary.LittleEndian.AppendUint32(p, uint32(len(r.ErrMsg)))
 		p = append(p, r.ErrMsg...)
 		return appendFrame(dst, p)
@@ -388,8 +400,15 @@ func DecodeResponse(buf []byte, dim int) (Response, int, error) {
 	}
 	c := &body{b: payload[respMinSize:]}
 	if r.Status != StatusOK {
-		if r.Status != StatusClosed && r.Status != StatusError {
+		if r.Status != StatusClosed && r.Status != StatusError && r.Status != StatusOverloaded {
 			return Response{}, 0, fmt.Errorf("%w: unknown status %d", ErrCorrupt, r.Status)
+		}
+		if r.Status == StatusOverloaded {
+			hint, ok := c.u32()
+			if !ok {
+				return Response{}, 0, fmt.Errorf("%w: overloaded response missing retry hint", ErrCorrupt)
+			}
+			r.RetryAfterMillis = hint
 		}
 		m, ok := c.u32()
 		if !ok || uint64(m) > uint64(c.rest()) {

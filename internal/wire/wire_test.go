@@ -48,6 +48,9 @@ func sampleResponses() []Response {
 		{Op: OpUpdate, ID: 13, Status: StatusClosed, ErrMsg: "engine: closed"},
 		{Op: OpKNN, ID: 14, Status: StatusError, ErrMsg: "boom"},
 		{Op: OpEpoch, ID: 15, Status: StatusError, ErrMsg: ""},
+		{Op: OpKNN, ID: 16, Status: StatusOverloaded, RetryAfterMillis: 12, ErrMsg: "server: overloaded (reads)"},
+		{Op: OpUpdate, ID: 17, Status: StatusOverloaded, RetryAfterMillis: 0, ErrMsg: ""},
+		{Op: OpUpdate, ID: 18, Status: StatusOverloaded, RetryAfterMillis: ^uint32(0), ErrMsg: "engine: overloaded: commit queue full"},
 	}
 }
 
@@ -88,6 +91,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		if got.Status != want.Status || got.ErrMsg != want.ErrMsg || got.Epoch != want.Epoch {
 			t.Fatalf("op %d: field mismatch: %+v vs %+v", want.Op, got, want)
 		}
+		if got.RetryAfterMillis != want.RetryAfterMillis {
+			t.Fatalf("op %d: retry hint %d, want %d", want.Op, got.RetryAfterMillis, want.RetryAfterMillis)
+		}
 		if want.Op == OpStats && want.Status == StatusOK && !reflect.DeepEqual(got.Stats, want.Stats) {
 			t.Fatalf("stats mismatch: %+v vs %+v", got.Stats, want.Stats)
 		}
@@ -111,6 +117,15 @@ func TestDecodeRejects(t *testing.T) {
 		} else if n != 0 {
 			t.Errorf("%s: consumed %d on error", name, n)
 		}
+	}
+
+	// An overloaded response torn between the status byte and the retry
+	// hint must be rejected, not decoded with a garbage hint: truncate the
+	// payload right after the status byte and re-stamp the frame.
+	over := AppendResponse(nil, &Response{Op: OpKNN, ID: 1, Status: StatusOverloaded, RetryAfterMillis: 250, ErrMsg: "shed"})
+	torn := appendFrame(nil, over[frameHeaderSize:frameHeaderSize+respMinSize])
+	if _, n, err := DecodeResponse(torn, 2); !errors.Is(err, ErrCorrupt) || n != 0 {
+		t.Errorf("overloaded response without retry hint: err=%v n=%d, want ErrCorrupt, 0", err, n)
 	}
 
 	// A KNN request whose row count claims more coords than the payload
