@@ -42,6 +42,7 @@ var ErrConnClosed = errors.New("client: connection closed")
 // the message is the remote error's text.
 type RemoteError struct{ Msg string }
 
+// Error returns the remote failure prefixed with its origin.
 func (e *RemoteError) Error() string { return "pargeo server: " + e.Msg }
 
 // ErrOverloaded is the errors.Is target for load-shed calls: the server
@@ -58,11 +59,33 @@ type OverloadedError struct {
 	Msg        string
 }
 
+// Error returns the shed message with the server's retry hint.
 func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("%s (retry after %v)", e.Msg, e.RetryAfter)
 }
 
+// Is reports whether target is ErrOverloaded, making every shed match
+// errors.Is(err, ErrOverloaded).
 func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// ErrEpochNotRetained is the errors.Is target for time-travel calls naming
+// an epoch the server no longer retains (or never published). It is the
+// same value as the embedded engine's ErrEpochNotRetained, so one target
+// covers both embedded and remote use. The concrete error is a
+// *NotRetainedError carrying the server's message.
+var ErrEpochNotRetained = engine.ErrEpochNotRetained
+
+// NotRetainedError reports one as-of or pin call that named an epoch
+// outside the server's retention window; errors.Is matches it against
+// ErrEpochNotRetained.
+type NotRetainedError struct{ Msg string }
+
+// Error returns the server's message prefixed with its origin.
+func (e *NotRetainedError) Error() string { return "pargeo server: " + e.Msg }
+
+// Is reports whether target is ErrEpochNotRetained, so a remote
+// retention miss matches the same errors.Is target as an embedded one.
+func (e *NotRetainedError) Is(target error) bool { return target == ErrEpochNotRetained }
 
 // Options configure a Client.
 type Options struct {
@@ -229,6 +252,8 @@ func respErr(r *wire.Response) error {
 			RetryAfter: time.Duration(r.RetryAfterMillis) * time.Millisecond,
 			Msg:        r.ErrMsg,
 		}
+	case wire.StatusNotRetained:
+		return &NotRetainedError{Msg: r.ErrMsg}
 	default:
 		return &RemoteError{Msg: r.ErrMsg}
 	}
@@ -666,6 +691,127 @@ func (c *Client) RangeCount(box Box) (int, error) {
 		return 0, err
 	}
 	return int(resp.Count), nil
+}
+
+// --- time travel ---------------------------------------------------------
+//
+// The AsOf variants answer from the server's retained snapshot of an exact
+// epoch instead of the live one: the same results forever, however many
+// commits happen after it. They fail with ErrEpochNotRetained (errors.Is)
+// when the epoch has left the server's retention window — pin it first to
+// stop that. As-of calls are never coalesced with live calls (they name a
+// different version) but follow the same idempotent-read retry policy.
+
+// KNNAsOf is KNN answered from the snapshot at exactly the given epoch
+// (epoch ≥ 1; the live KNN is the epoch-free call).
+func (c *Client) KNNAsOf(q []float64, k int, epoch uint64) ([]int32, error) {
+	if len(q) != c.dim {
+		return nil, fmt.Errorf("client: query dim %d, engine dim %d", len(q), c.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
+	}
+	if epoch == 0 {
+		return nil, fmt.Errorf("client: as-of epoch 0 (use KNN for live reads)")
+	}
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpKNN, K: int32(k), Queries: Points{Data: q, Dim: c.dim}, AsOf: epoch})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Neighbors) != 1 {
+		return nil, &RemoteError{Msg: fmt.Sprintf("KNN answered %d of 1 queries", len(resp.Neighbors))}
+	}
+	return resp.Neighbors[0], nil
+}
+
+// KNNBatchAsOf is KNNBatch against the snapshot at exactly the given
+// epoch.
+func (c *Client) KNNBatchAsOf(queries Points, k int, epoch uint64) ([][]int32, error) {
+	if queries.Len() > 0 && queries.Dim != c.dim {
+		return nil, fmt.Errorf("client: query dim %d, engine dim %d", queries.Dim, c.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("client: k = %d: want k ≥ 1", k)
+	}
+	if epoch == 0 {
+		return nil, fmt.Errorf("client: as-of epoch 0 (use KNNBatch for live reads)")
+	}
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpKNN, K: int32(k), Queries: queries, AsOf: epoch})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// RangeSearchAsOf is RangeSearch against the snapshot at exactly the given
+// epoch.
+func (c *Client) RangeSearchAsOf(box Box, epoch uint64) ([]int32, error) {
+	if err := c.checkBox(box); err != nil {
+		return nil, err
+	}
+	if epoch == 0 {
+		return nil, fmt.Errorf("client: as-of epoch 0 (use RangeSearch for live reads)")
+	}
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpRange, Box: box, AsOf: epoch})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// RangeCountAsOf is RangeCount against the snapshot at exactly the given
+// epoch.
+func (c *Client) RangeCountAsOf(box Box, epoch uint64) (int, error) {
+	if err := c.checkBox(box); err != nil {
+		return 0, err
+	}
+	if epoch == 0 {
+		return 0, fmt.Errorf("client: as-of epoch 0 (use RangeCount for live reads)")
+	}
+	var resp wire.Response
+	err := c.readRoundTrip(&resp, &wire.Request{Op: wire.OpRangeCount, Box: box, AsOf: epoch})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Count), nil
+}
+
+// Pin pins the server's latest committed epoch and returns it: the epoch
+// stays answerable through the AsOf calls — immune to the server's
+// retention GC — until a matching Unpin, or until THIS CONNECTION closes
+// (server pins are connection-scoped and do not survive a server restart;
+// see the package documentation). Pin is not auto-retried: a pin the
+// client cannot confirm must not be held server-side.
+func (c *Client) Pin() (uint64, error) {
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpPin})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// PinEpoch pins a specific epoch still inside the server's retention
+// window (or already pinned), failing with ErrEpochNotRetained otherwise.
+func (c *Client) PinEpoch(epoch uint64) (uint64, error) {
+	if epoch == 0 {
+		return 0, fmt.Errorf("client: pin epoch 0 (use Pin for the latest commit)")
+	}
+	resp, err := c.roundTrip(&wire.Request{Op: wire.OpPin, Epoch: epoch})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Unpin releases one of this connection's pins of epoch. Unpinning an
+// epoch the connection does not hold is a RemoteError — pins belong to
+// connections, and one client cannot release another's.
+func (c *Client) Unpin(epoch uint64) error {
+	_, err := c.roundTrip(&wire.Request{Op: wire.OpUnpin, Epoch: epoch})
+	return err
 }
 
 // readRoundTrip is roundTrip plus the idempotent-read retry policy. The

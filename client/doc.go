@@ -72,4 +72,22 @@
 // durability contract (see the repository README): on a SyncEvery=1
 // server an acknowledged epoch survives any crash; in relaxed mode it is
 // bounded by the group-commit window, exactly as for embedded use.
+//
+// # Time travel and pins
+//
+// The as-of variants (KNNAsOf, KNNBatchAsOf, RangeSearchAsOf,
+// RangeCountAsOf) answer against a retained historical epoch instead of
+// the live snapshot, and Pin/PinEpoch/Unpin manage server-side pins
+// that keep an epoch resolvable past the server's retention window. A
+// pin taken through this client is owned by its connection: other
+// connections cannot release it, and Close (or a broken stream)
+// releases every pin the connection still holds — a crashed analytics
+// client cannot leak retained memory on the server. An epoch outside
+// the window fails with a *NotRetainedError matching
+// ErrEpochNotRetained. Pin is never auto-retried: a pin the client
+// cannot confirm must not be held server-side.
+//
+// For where this package sits in the whole system — the layer diagram
+// and the request lifecycles through client, server, engine, and WAL —
+// see docs/ARCHITECTURE.md at the repository root.
 package client

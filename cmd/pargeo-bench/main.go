@@ -15,6 +15,7 @@
 //	pargeo-bench -experiment serve           # network layer: open-loop tail latency + client batching
 //	pargeo-bench -experiment overload        # admission control: goodput + tails at 0.5-2x saturation
 //	pargeo-bench -experiment wal             # WAL durability overhead + recovery time
+//	pargeo-bench -experiment mvcc            # MVCC retention: analytics-vs-writer interference + memory
 //	pargeo-bench -experiment kdtree          # kd-tree Build/k-NN/range microbenchmarks
 //	pargeo-bench -experiment all
 //
@@ -52,7 +53,7 @@ import (
 )
 
 var (
-	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|serve|overload|wal|kdtree|all")
+	flagExperiment = flag.String("experiment", "all", "experiment to run: table1|fig8|fig9|fig10|fig11|fig12|fig14|hullstats|sebstats|zdcompare|engine|serve|overload|wal|mvcc|kdtree|all")
 	flagN          = flag.Int("n", 200000, "base data-set size (paper: 10M)")
 	flagThreads    = flag.String("threads", "", "comma-separated thread counts for scaling experiments (default 1,2,4,...,NumCPU)")
 	flagSeed       = flag.Uint64("seed", 42, "data-generation seed")
@@ -61,6 +62,7 @@ var (
 	flagShards     = flag.String("shards", "1,2,4", "comma-separated engine shard counts for the engine experiment sweep")
 	flagMeasure    = flag.Duration("measure", 1500*time.Millisecond, "measurement window per engine-experiment configuration")
 	flagOverAssert = flag.Bool("overload-assert", false, "overload experiment: exit 1 unless goodput at 2x saturation stays within 80% of the best observed and the successful-read p99 stays bounded")
+	flagMVCCAssert = flag.Bool("mvcc-assert", false, "mvcc experiment: exit 1 unless writer throughput under concurrent pinned analytics stays >= 70% of the no-analytics baseline")
 	flagRebalance  = flag.String("rebalance", "off,on", "comma-separated rebalancer modes (off,on) for the engine experiment's drifting hot-spot sweep")
 )
 
@@ -100,6 +102,7 @@ func main() {
 	run("serve", func() { serveBench(*flagN, *flagSeed, *flagMeasure) })
 	run("overload", func() { overloadBench(*flagN, *flagSeed, *flagMeasure, *flagOverAssert) })
 	run("wal", func() { walBench(*flagN, *flagSeed, *flagMeasure) })
+	run("mvcc", func() { mvccBench(*flagN, *flagSeed, *flagMVCCAssert) })
 	run("kdtree", func() { kdBench(*flagN, *flagSeed) })
 	if !matched {
 		// A typo must not silently run nothing (and, with -json, clobber a

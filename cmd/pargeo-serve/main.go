@@ -35,6 +35,7 @@ func main() {
 		syncEvery = flag.Int("sync-every", 1, "fsync cadence: 1 = every commit (strict), K>1 = group of K (relaxed)")
 		ckptEvery = flag.Int("checkpoint-every", 4096, "automatic checkpoint after N WAL records (0 = manual only)")
 		rebalance = flag.Bool("rebalance", true, "run the online shard rebalancer")
+		retain    = flag.Int("retain", 0, "MVCC retention window: keep the last N epochs answerable via as-of reads (0 = live only; pins work regardless)")
 
 		// Overload control: finite budgets shed excess load with a typed
 		// StatusOverloaded + retry hint instead of queueing it (0 = unlimited).
@@ -47,13 +48,13 @@ func main() {
 	log.SetPrefix("pargeo-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	lim := server.Limits{Reads: *maxReads, Writes: *maxWrites, Control: *maxControl}
-	if err := run(*addr, *dir, *dim, *shards, *syncEvery, *ckptEvery, *rebalance, *maxPending, lim); err != nil {
+	if err := run(*addr, *dir, *dim, *shards, *syncEvery, *ckptEvery, *rebalance, *maxPending, *retain, lim); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, dir string, dim, shards, syncEvery, ckptEvery int, rebalance bool, maxPending int, lim server.Limits) error {
-	opts := engine.Options{Shards: shards, Rebalance: rebalance, MaxPending: maxPending}
+func run(addr, dir string, dim, shards, syncEvery, ckptEvery int, rebalance bool, maxPending, retain int, lim server.Limits) error {
+	opts := engine.Options{Shards: shards, Rebalance: rebalance, MaxPending: maxPending, RetainEpochs: retain}
 	if dir != "" {
 		opts.Durability = &engine.Durability{
 			Dir:             dir,

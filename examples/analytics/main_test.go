@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestSmoke builds and runs the example end to end, so `go test ./...`
+// keeps it from rotting silently. Skipped in -short mode: the example uses
+// a demonstration-sized workload.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test skipped in short mode")
+	}
+	main()
+}

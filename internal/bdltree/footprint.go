@@ -1,0 +1,53 @@
+package bdltree
+
+import "unsafe"
+
+// MemoryFootprint estimates the heap bytes of the tree's storage — point
+// buffers, global-id and permutation arrays, vEB node arrays, tombstone
+// bitmaps, and leaf-order coordinate caches — that are not already
+// recorded in seen, and records them. Passing one seen map across the
+// versions of a persistent chain therefore measures the chain's total
+// without double-counting shared structure: a version derived with
+// PersistentInsert/PersistentDelete shares untouched arrays with its
+// parent, and those arrays are charged to whichever version was visited
+// first. Keys added to seen are opaque identity tokens (internal array
+// pointers); callers should treat the map as a black box seeded empty.
+//
+// The estimate covers the dominant O(n)-sized arrays and ignores
+// fixed-size headers, so it is a floor — accurate to within a few percent
+// for trees past a few hundred points.
+func (t *Tree) MemoryFootprint(seen map[any]struct{}) uint64 {
+	if t == nil {
+		return 0
+	}
+	var total uint64
+	// charge counts one array once across all versions sharing it: the
+	// identity token is the array's first-element pointer, which survives
+	// reslicing and is shared exactly when the storage is.
+	charge := func(key any, bytes int) {
+		if key == nil || bytes == 0 {
+			return
+		}
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		total += uint64(bytes)
+	}
+	count := func(vt *vebTree) {
+		if vt == nil {
+			return
+		}
+		charge(unsafe.SliceData(vt.pts.Data), len(vt.pts.Data)*8)
+		charge(unsafe.SliceData(vt.orig), len(vt.orig)*4)
+		charge(unsafe.SliceData(vt.idx), len(vt.idx)*4)
+		charge(unsafe.SliceData(vt.nodes), len(vt.nodes)*int(unsafe.Sizeof(vnode{})))
+		charge(unsafe.SliceData(vt.dead), len(vt.dead))
+		charge(unsafe.SliceData(vt.leafCoords), len(vt.leafCoords)*8)
+	}
+	count(t.buffer)
+	for _, vt := range t.trees {
+		count(vt)
+	}
+	return total
+}

@@ -156,6 +156,35 @@
 // the structural change of its own shard, and a superseded version stays
 // valid for readers that loaded it before the swap.
 //
+// # Retention and time travel
+//
+// Snapshots are already immutable versions; retention merely keeps some
+// of them resolvable after they are superseded. With Options.RetainEpochs
+// = N the engine holds the last N published snapshots in a ring and
+// Engine.AsOf(epoch) returns any of them — a read-only handle answering
+// KNN, range, and analytics queries against exactly that epoch's point
+// set. Because versions are persistent (copy-on-write), a retained epoch
+// costs only the structure its own commit rebuilt, not a copy of the
+// dataset; Stats reports the marginal footprint as RetainedBytes.
+//
+// Engine.Pin (or PinEpoch) takes a reference that keeps a version
+// resolvable past the ring until the matching Snapshot.Release — the
+// idiom for long analytics jobs (see analytics.go: KNNGraph,
+// CoreDistances, AllKNN) that must read one consistent version while
+// writers keep committing past it. Pins are refcounted per epoch;
+// Release panics on over-release rather than corrupting the table.
+// RetainWatermark is the oldest currently resolvable epoch — the GC
+// boundary the ring trim advances.
+//
+// Every snapshot-install site feeds the ring — ordinary publishes, the
+// founding commit, rebalancer migrations (whose note epochs change no
+// live points but still consume epochs, so AsOf across a migration
+// resolves), and recovery. Recovery RESETS the ring: the recovered epoch
+// is not contiguous with anything the process held before, and
+// pre-restart history (including pins, which are per-process serving
+// state, or per-connection state at the server layer) does not survive —
+// see examples/analytics for the end-to-end shape.
+//
 // # Durability
 //
 // With Options.Durability set (construct via Open, not New), the engine
@@ -197,4 +226,9 @@
 // All durable file I/O goes through the wal.VFS interface; tests inject
 // wal.MemFS to enumerate every crash point deterministically (see
 // crash_matrix_test.go).
+//
+// For where this package sits in the whole system — the layer diagram,
+// the lifecycle of an update and of a k-NN query through client, server,
+// engine, and WAL, and the cross-layer invariants — see
+// docs/ARCHITECTURE.md at the repository root.
 package engine

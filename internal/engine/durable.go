@@ -136,7 +136,15 @@ func (e *Engine) recoverDurable(d Durability) error {
 		}
 		snap = &Snapshot{part: part, trees: trees, epoch: finalEpoch, size: size}
 	}
+	snap.eng = e
 	e.snap.Store(snap)
+	// Retention restarts at the recovered epoch: the ring newEngine seeded
+	// holds the discarded epoch-0 shell (not contiguous with finalEpoch),
+	// and historical versions are not durable, so the window begins here.
+	e.retainMu.Lock()
+	e.retained = e.retained[:0]
+	e.retainMu.Unlock()
+	e.retain(snap)
 	if part != nil {
 		e.part.Store(part)
 	}

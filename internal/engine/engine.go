@@ -69,6 +69,18 @@ type Options struct {
 	// (each shard's stream plus the global stream), so the engine-wide
 	// queue is at most (Shards+1)×MaxPending requests.
 	MaxPending int
+	// RetainEpochs enables MVCC retention: the engine keeps the most
+	// recent RetainEpochs published snapshots (the live one included)
+	// resolvable through AsOf and PinEpoch, forming a sliding time-travel
+	// window over the commit history. Persistent BDL-tree versions share
+	// untouched structure, so a retained epoch costs only the trees its
+	// commit rebuilt; Stats().RetainedBytes reports the marginal memory.
+	// 0 or 1 disables the window (only the live epoch resolves). Pin and
+	// Snapshot.Release work regardless of this setting — a pinned epoch
+	// stays resolvable however small the window is. Retention is
+	// in-memory only: a reopened engine starts with just the recovered
+	// epoch retained.
+	RetainEpochs int
 	// Durability, when non-nil, makes the engine durable: committed
 	// batches are written ahead to a segmented, CRC-framed log and
 	// checkpoints capture the full state, so Open recovers everything
@@ -311,6 +323,15 @@ type Engine struct {
 	// a commit is tiny regardless of batch size.
 	publishMu sync.Mutex
 
+	// MVCC retention (see retain.go): the ring of the last RetainEpochs
+	// published snapshots and the pin table for epochs held past the
+	// ring's watermark. retainMu orders ring trims against AsOf/Pin
+	// lookups; publish sites take it briefly after the snapshot swap
+	// (lock order: publishMu, then retainMu — never the reverse).
+	retainMu sync.Mutex
+	retained []*Snapshot
+	pins     map[uint64]*pinEntry
+
 	shards []*shard
 	global combiner // multi-shard and pre-partition updates
 
@@ -380,7 +401,9 @@ func newEngine(dim int, opts Options) *Engine {
 	for i := range e.shards {
 		e.shards[i] = &shard{}
 	}
-	e.snap.Store(&Snapshot{trees: []*bdltree.Tree{e.newTree()}})
+	seed := &Snapshot{eng: e, trees: []*bdltree.Tree{e.newTree()}}
+	e.snap.Store(seed)
+	e.retain(seed)
 	return e
 }
 
@@ -761,8 +784,9 @@ func (e *Engine) commitFounding(group []*updateReq) {
 			return
 		}
 	}
-	next := &Snapshot{part: part, trees: trees, epoch: epoch, size: pool.Len()}
+	next := &Snapshot{eng: e, part: part, trees: trees, epoch: epoch, size: pool.Len()}
 	e.snap.Store(next)
+	e.retain(next)
 	e.part.Store(part)
 	e.publishMu.Unlock()
 	e.noteWALCommit()
@@ -997,8 +1021,9 @@ func (e *Engine) publish(group []*updateReq, apply func(vec []*bdltree.Tree)) (u
 	for _, t := range vec {
 		size += t.Size()
 	}
-	next := &Snapshot{part: cur.part, trees: vec, epoch: epoch, size: size}
+	next := &Snapshot{eng: e, part: cur.part, trees: vec, epoch: epoch, size: size}
 	e.snap.Store(next)
+	e.retain(next)
 	e.publishMu.Unlock()
 	e.statCommits.Add(1)
 	e.noteWALCommit()

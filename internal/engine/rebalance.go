@@ -513,8 +513,9 @@ func (e *Engine) swapPartition(part *partition, trees []*bdltree.Tree, size int)
 			return false
 		}
 	}
-	next := &Snapshot{part: part, trees: trees, epoch: epoch, size: size}
+	next := &Snapshot{eng: e, part: part, trees: trees, epoch: epoch, size: size}
 	e.snap.Store(next)
+	e.retain(next)
 	e.part.Store(part)
 	e.publishMu.Unlock()
 	// Shard indices shift meaning across a migration; drop the recent-write

@@ -18,6 +18,7 @@ import (
 // partition-defining first insertion) carries a single tree and no
 // partition.
 type Snapshot struct {
+	eng   *Engine    // owner, for Release (nil only in tests that build Snapshots by hand)
 	part  *partition // nil until sharded mode is established
 	trees []*bdltree.Tree
 	epoch uint64

@@ -35,6 +35,19 @@ type Stats struct {
 	// (Shards+1)×MaxPending; the ratio against that bound is the
 	// backpressure gauge a serving layer watches.
 	CommitQueue uint64
+	// RetainedEpochs is the current length of the MVCC retention ring:
+	// how many recent epochs (the live one included) resolve through
+	// AsOf. At most Options.RetainEpochs; at least 1.
+	RetainedEpochs uint64
+	// PinnedEpochs is the number of distinct epochs currently pinned
+	// (Pin/PinEpoch without a matching Release), whether or not they are
+	// also inside the retention ring.
+	PinnedEpochs uint64
+	// RetainedBytes estimates the heap bytes held only by retention:
+	// tree structure reachable from retained or pinned snapshots but not
+	// from the live one, with structure shared between old versions
+	// counted once. Zero when nothing but the live epoch is held.
+	RetainedBytes uint64
 }
 
 // Stats returns the engine's serving counters. The counters are read
@@ -58,6 +71,7 @@ func (e *Engine) Stats() Stats {
 	if e.log != nil {
 		s.DurableEpoch = e.log.DurableEpoch()
 	}
+	s.RetainedEpochs, s.PinnedEpochs, s.RetainedBytes = e.retainStats()
 	return s
 }
 

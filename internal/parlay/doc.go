@@ -59,4 +59,9 @@
 // single-processor process. Single-thread runs therefore pay (almost)
 // nothing for parallel readiness, which is the same guarantee ParlayLib
 // makes and which the reproduction's sequential baselines rely on.
+//
+// For where this package sits in the whole system — every layer above,
+// from the trees to the serving engine to the network server, funnels
+// its parallelism through here — see docs/ARCHITECTURE.md at the
+// repository root.
 package parlay

@@ -42,7 +42,7 @@ func classOf(op byte) int {
 		return classRead
 	case wire.OpUpdate:
 		return classWrite
-	case wire.OpEpoch, wire.OpCheckpoint, wire.OpStats:
+	case wire.OpEpoch, wire.OpCheckpoint, wire.OpStats, wire.OpPin, wire.OpUnpin:
 		return classControl
 	default:
 		return classNone

@@ -36,4 +36,8 @@
 // connections. Only after Shutdown returns does the caller close the
 // engine — so an acknowledged response always corresponds to an update
 // the engine's durability contract covers.
+//
+// For where this package sits in the whole system — the layer diagram
+// and the request lifecycles through client, server, engine, and WAL —
+// see docs/ARCHITECTURE.md at the repository root.
 package server

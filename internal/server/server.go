@@ -102,10 +102,81 @@ func (s *Server) Shutdown() {
 }
 
 // conn is one connection's shared write side: responses from concurrent
-// request handlers interleave frame-atomically under wmu.
+// request handlers interleave frame-atomically under wmu. It also owns the
+// connection's pin table — snapshots pinned by OpPin and not yet released
+// by OpUnpin. Pins are connection-scoped: the teardown in serveConn
+// releases every survivor, so a crashed or careless client cannot leak
+// retained versions past its own lifetime (and, the engine's pins being
+// in-memory, no pin survives a server restart either).
 type conn struct {
 	c   net.Conn
 	wmu sync.Mutex
+	wg  sync.WaitGroup // this connection's in-flight handlers
+
+	pmu  sync.Mutex
+	pins map[uint64]*connPin
+	dead bool // teardown ran; late pins release immediately
+}
+
+// connPin is one connection's hold on one epoch: the pinned snapshot and
+// how many of the connection's OpPins are open against it (the engine
+// refcounts per Pin call, so release fires once per count).
+type connPin struct {
+	snap  *engine.Snapshot
+	count int
+}
+
+// pin records one successful engine pin of s for this connection. A pin
+// landing after teardown (the handler raced the reader loop's exit) is
+// released on the spot rather than leaked.
+func (c *conn) pin(s *engine.Snapshot) {
+	c.pmu.Lock()
+	if c.dead {
+		c.pmu.Unlock()
+		s.Release()
+		return
+	}
+	if c.pins == nil {
+		c.pins = make(map[uint64]*connPin)
+	}
+	if p, ok := c.pins[s.Epoch()]; ok {
+		p.count++
+	} else {
+		c.pins[s.Epoch()] = &connPin{snap: s, count: 1}
+	}
+	c.pmu.Unlock()
+}
+
+// unpin releases one of this connection's pins of epoch, reporting whether
+// the connection actually held one.
+func (c *conn) unpin(epoch uint64) bool {
+	c.pmu.Lock()
+	p, ok := c.pins[epoch]
+	if ok {
+		p.count--
+		if p.count == 0 {
+			delete(c.pins, epoch)
+		}
+	}
+	c.pmu.Unlock()
+	if ok {
+		p.snap.Release()
+	}
+	return ok
+}
+
+// releaseAll drops every pin the connection still holds (teardown).
+func (c *conn) releaseAll() {
+	c.pmu.Lock()
+	pins := c.pins
+	c.pins = nil
+	c.dead = true
+	c.pmu.Unlock()
+	for _, p := range pins {
+		for i := 0; i < p.count; i++ {
+			p.snap.Release()
+		}
+	}
 }
 
 func (c *conn) writeFrame(buf []byte) error {
@@ -116,14 +187,19 @@ func (c *conn) writeFrame(buf []byte) error {
 }
 
 func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{c: nc}
 	defer s.connWG.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, nc)
 		s.mu.Unlock()
 		nc.Close()
+		// Pins are connection-scoped: whatever the client left pinned is
+		// released with the connection, after its in-flight handlers have
+		// had their chance to record theirs.
+		c.wg.Wait()
+		c.releaseAll()
 	}()
-	c := &conn{c: nc}
 	var buf []byte
 	for {
 		var err error
@@ -171,14 +247,16 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		s.reqWG.Add(1)
+		c.wg.Add(1)
 		s.mu.Unlock()
 		go func(req wire.Request, class int) {
 			defer s.reqWG.Done()
+			defer c.wg.Done()
 			// The slot is held through the response write: a slow-reading
 			// client consumes its own budget, not fresh admissions.
 			defer s.adm.release(class)
 			start := time.Now()
-			resp := s.handle(&req)
+			resp := s.handle(c, &req)
 			s.adm.observe(class, time.Since(start))
 			s.requests.Add(1)
 			c.writeFrame(wire.AppendResponse(nil, resp)) //nolint:errcheck // peer gone: nothing to tell it
@@ -186,8 +264,9 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
-// handle executes one decoded request against the engine.
-func (s *Server) handle(req *wire.Request) *wire.Response {
+// handle executes one decoded request against the engine. c is the
+// request's connection, owner of any pins the request creates.
+func (s *Server) handle(c *conn, req *wire.Request) *wire.Response {
 	resp := &wire.Response{Op: req.Op, ID: req.ID}
 	switch req.Op {
 	case wire.OpHello:
@@ -196,6 +275,19 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 	case wire.OpKNN:
 		if req.K < 1 {
 			return s.fail(resp, fmt.Errorf("k = %d: want k ≥ 1", req.K))
+		}
+		if req.AsOf != 0 {
+			// Time-travel read: resolve the retained epoch and answer from
+			// it directly — historical reads skip the combiner (grouping
+			// only helps when everyone reads the same version).
+			snap, err := s.eng.AsOf(req.AsOf)
+			if err != nil {
+				return s.fail(resp, err)
+			}
+			if req.Queries.Len() > 0 {
+				resp.Neighbors = snap.KNN(req.Queries, int(req.K))
+			}
+			break
 		}
 		if n := req.Queries.Len(); n == 1 {
 			// Solo queries ride the engine's combiner so concurrent
@@ -207,9 +299,25 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 			resp.Neighbors = s.eng.Snapshot().KNN(req.Queries, int(req.K))
 		}
 	case wire.OpRange:
-		resp.IDs = s.eng.RangeSearch(req.Box)
+		snap, err := s.asOfSnapshot(req)
+		if err != nil {
+			return s.fail(resp, err)
+		}
+		if snap != nil {
+			resp.IDs = snap.RangeSearch(req.Box)
+		} else {
+			resp.IDs = s.eng.RangeSearch(req.Box)
+		}
 	case wire.OpRangeCount:
-		resp.Count = uint64(s.eng.RangeCount(req.Box))
+		snap, err := s.asOfSnapshot(req)
+		if err != nil {
+			return s.fail(resp, err)
+		}
+		if snap != nil {
+			resp.Count = uint64(snap.RangeCount(req.Box))
+		} else {
+			resp.Count = uint64(s.eng.RangeCount(req.Box))
+		}
 	case wire.OpUpdate:
 		res := s.eng.Update(req.Ins, req.Del)
 		if res.Err != nil {
@@ -227,8 +335,34 @@ func (s *Server) handle(req *wire.Request) *wire.Response {
 		resp.Epoch = s.eng.Stats().DurableEpoch
 	case wire.OpStats:
 		resp.Stats = s.statList()
+	case wire.OpPin:
+		var snap *engine.Snapshot
+		if req.Epoch == 0 {
+			snap = s.eng.Pin()
+		} else {
+			var err error
+			if snap, err = s.eng.PinEpoch(req.Epoch); err != nil {
+				return s.fail(resp, err)
+			}
+		}
+		c.pin(snap)
+		resp.Epoch = snap.Epoch()
+	case wire.OpUnpin:
+		if !c.unpin(req.Epoch) {
+			return s.fail(resp, fmt.Errorf("epoch %d is not pinned by this connection", req.Epoch))
+		}
+		resp.Epoch = req.Epoch
 	}
 	return resp
+}
+
+// asOfSnapshot resolves a range request's as-of epoch (nil for a live
+// read).
+func (s *Server) asOfSnapshot(req *wire.Request) (*engine.Snapshot, error) {
+	if req.AsOf == 0 {
+		return nil, nil
+	}
+	return s.eng.AsOf(req.AsOf)
 }
 
 func (s *Server) fail(resp *wire.Response, err error) *wire.Response {
@@ -236,6 +370,11 @@ func (s *Server) fail(resp *wire.Response, err error) *wire.Response {
 	switch {
 	case errors.Is(err, engine.ErrClosed):
 		resp.Status = wire.StatusClosed
+	case errors.Is(err, engine.ErrEpochNotRetained):
+		// Typed, like Closed/Overloaded: the client re-materializes
+		// engine.ErrEpochNotRetained from the status so callers can
+		// errors.Is across the network boundary.
+		resp.Status = wire.StatusNotRetained
 	case errors.Is(err, engine.ErrOverloaded):
 		// The engine's own commit-queue bound tripped: surface it exactly
 		// like a server-side shed so the client's backoff treats both
@@ -263,6 +402,9 @@ func (s *Server) statList() []wire.Stat {
 		{Name: "query_groups", Value: st.QueryGroups},
 		{Name: "shed", Value: st.Shed},
 		{Name: "commit_queue", Value: st.CommitQueue},
+		{Name: "retained_epochs", Value: st.RetainedEpochs},
+		{Name: "pinned_epochs", Value: st.PinnedEpochs},
+		{Name: "retained_bytes", Value: st.RetainedBytes},
 		{Name: "connections", Value: s.accepted.Load()},
 		{Name: "requests", Value: s.requests.Load()},
 		{Name: "shed_reads", Value: s.adm.gates[classRead].shed.Load()},

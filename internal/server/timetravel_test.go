@@ -1,0 +1,154 @@
+package server_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pargeo/client"
+	"pargeo/internal/engine"
+	"pargeo/internal/geom"
+)
+
+// TestTimeTravelOverWire drives the as-of and pin surface end to end:
+// remote AsOf answers match the embedded engine's for every retained
+// epoch, typed ErrEpochNotRetained crosses the wire, pins held by one
+// connection survive the retention GC and resist another connection's
+// Unpin, and a dropped connection releases its pins.
+func TestTimeTravelOverWire(t *testing.T) {
+	eng, srv, addr := startServer(t, 2, engine.Options{Shards: 2, RetainEpochs: 4})
+	defer func() { srv.Shutdown(); eng.Close() }()
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Commit a few epochs, remembering each epoch's expected universe
+	// count.
+	sizes := map[uint64]int{}
+	total := 0
+	for round := 0; round < 6; round++ {
+		batch := geom.NewPoints(40, 2)
+		for i := 0; i < batch.Len(); i++ {
+			batch.Set(i, []float64{float64(round*40+i) * 0.01, float64(i) * 0.02})
+		}
+		res := c.Insert(batch)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		total += batch.Len()
+		sizes[res.Epoch] = total
+	}
+	universe := geom.Box{Min: []float64{-1e9, -1e9}, Max: []float64{1e9, 1e9}}
+
+	epoch, err := c.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := epoch - 3; e <= epoch; e++ {
+		n, err := c.RangeCountAsOf(universe, e)
+		if err != nil {
+			t.Fatalf("RangeCountAsOf(%d): %v", e, err)
+		}
+		if n != sizes[e] {
+			t.Fatalf("as-of epoch %d count %d, want %d", e, n, sizes[e])
+		}
+		ids, err := c.RangeSearchAsOf(universe, e)
+		if err != nil || len(ids) != sizes[e] {
+			t.Fatalf("RangeSearchAsOf(%d): %d ids, err %v", e, len(ids), err)
+		}
+		// The remote as-of KNN must match the embedded engine's answer
+		// from the same snapshot.
+		q := []float64{0.5, 0.3}
+		got, err := c.KNNAsOf(q, 5, e)
+		if err != nil {
+			t.Fatalf("KNNAsOf(%d): %v", e, err)
+		}
+		snap, err := eng.AsOf(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := snap.KNN(geom.Points{Data: q, Dim: 2}, 5)[0]
+		if len(got) != len(want) {
+			t.Fatalf("as-of epoch %d knn: %v, embedded %v", e, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("as-of epoch %d knn: %v, embedded %v", e, got, want)
+			}
+		}
+	}
+
+	// Outside the window: typed across the wire.
+	if _, err := c.RangeCountAsOf(universe, 1); !errors.Is(err, client.ErrEpochNotRetained) {
+		t.Fatalf("trimmed epoch over the wire: %v, want ErrEpochNotRetained", err)
+	}
+	if _, err := c.KNNAsOf([]float64{0, 0}, 3, epoch+100); !errors.Is(err, client.ErrEpochNotRetained) {
+		t.Fatalf("future epoch over the wire: %v, want ErrEpochNotRetained", err)
+	}
+	if _, err := c.PinEpoch(1); !errors.Is(err, client.ErrEpochNotRetained) {
+		t.Fatalf("pin of trimmed epoch: %v, want ErrEpochNotRetained", err)
+	}
+
+	// Pin the latest epoch, push it out of the ring, and keep reading it.
+	pinned, err := c.Pin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned != epoch {
+		t.Fatalf("pinned epoch %d, want latest %d", pinned, epoch)
+	}
+	for round := 0; round < 6; round++ {
+		batch := geom.NewPoints(20, 2)
+		for i := 0; i < batch.Len(); i++ {
+			batch.Set(i, []float64{float64(i) * 0.03, 1 + float64(round)*0.1})
+		}
+		if res := c.Insert(batch); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if n, err := c.RangeCountAsOf(universe, pinned); err != nil || n != total {
+		t.Fatalf("pinned epoch after trim: count %d err %v, want %d", n, err, total)
+	}
+
+	// A second connection cannot release the first's pin.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Unpin(pinned); err == nil || errors.Is(err, client.ErrEpochNotRetained) {
+		t.Fatalf("foreign unpin must fail as a plain remote error, got %v", err)
+	}
+	c2.Close()
+
+	// Unpin from the owner: the epoch (now far behind the window) stops
+	// resolving.
+	if err := c.Unpin(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RangeCountAsOf(universe, pinned); !errors.Is(err, client.ErrEpochNotRetained) {
+		t.Fatalf("read after unpin: %v, want ErrEpochNotRetained", err)
+	}
+	if err := c.Unpin(pinned); err == nil {
+		t.Fatal("double unpin must fail")
+	}
+
+	// Pins die with their connection: pin again, drop the client, and the
+	// engine's pin table must drain.
+	if _, err := c.Pin(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().PinnedEpochs; got != 1 {
+		t.Fatalf("engine pinned epochs %d, want 1", got)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().PinnedEpochs != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection close did not release its pins")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

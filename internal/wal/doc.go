@@ -62,4 +62,8 @@
 // yields prefix durability: recovery restores exactly a prefix of the
 // submitted commit history that includes every acknowledged batch — no
 // lost acked batch, no partially applied batch.
+//
+// For where this package sits in the whole system — how the engine's
+// commit path threads through the log and what recovery restores — see
+// docs/ARCHITECTURE.md at the repository root.
 package wal

@@ -16,11 +16,22 @@
 //	[8] request id
 //	op-specific body:
 //	  Hello                 (empty)
-//	  KNN                   [4] k, [4] n, n×dim×[8] query coords
-//	  Range / RangeCount    dim×[8] box min, dim×[8] box max
+//	  KNN                   [8] as-of epoch (0 = live),
+//	                        [4] k, [4] n, n×dim×[8] query coords
+//	  Range / RangeCount    [8] as-of epoch (0 = live),
+//	                        dim×[8] box min, dim×[8] box max
 //	  Update                [4] nins, nins×dim×[8] coords,
 //	                        [4] ndel, ndel×dim×[8] coords
 //	  Epoch / Checkpoint / Stats  (empty)
+//	  Pin                   [8] epoch (0 = pin the latest commit)
+//	  Unpin                 [8] epoch
+//
+// The read ops carry an as-of epoch: zero (the common case) answers from
+// the live snapshot, nonzero answers from that exact retained or pinned
+// epoch — StatusNotRetained when the server no longer holds it. Pin makes
+// an epoch durable against the server's retention GC for the LIFETIME OF
+// THE CONNECTION: the server releases a connection's surviving pins when
+// the connection closes, and pins never survive a server restart.
 //
 // Response payload:
 //
@@ -39,6 +50,8 @@
 //	  Epoch        [8] epoch
 //	  Checkpoint   [8] epoch
 //	  Stats        [4] n, n × { [2] name length, name bytes, [8] value }
+//	  Pin          [8] epoch pinned
+//	  Unpin        [8] epoch released
 //
 // The point dimensionality is a property of the connection, established
 // by the Hello exchange (the server's engine fixes it), and is passed to
@@ -46,6 +59,10 @@
 // records. Decoders validate every length against the remaining bytes
 // before sizing any allocation from it, never read past the input, and
 // only ever return CRC-verified data that re-encodes byte-identically.
+//
+// For where this protocol sits in the whole system — the layer diagram
+// and the request lifecycles through client, server, engine, and WAL —
+// see docs/ARCHITECTURE.md at the repository root.
 package wire
 
 import (
@@ -69,18 +86,21 @@ const (
 	OpEpoch
 	OpCheckpoint
 	OpStats
+	OpPin
+	OpUnpin
 
-	opMax = OpStats
+	opMax = OpUnpin
 )
 
 // Response status codes. The codes are the wire form of the engine's
 // typed errors: clients map StatusClosed back to their typed
 // server-closed error rather than matching message strings.
 const (
-	StatusOK         byte = 0 // op-specific body follows
-	StatusClosed     byte = 1 // engine closed (engine.ErrClosed)
-	StatusError      byte = 2 // any other engine/server failure
-	StatusOverloaded byte = 3 // shed by admission control; retry-after hint follows
+	StatusOK          byte = 0 // op-specific body follows
+	StatusClosed      byte = 1 // engine closed (engine.ErrClosed)
+	StatusError       byte = 2 // any other engine/server failure
+	StatusOverloaded  byte = 3 // shed by admission control; retry-after hint follows
+	StatusNotRetained byte = 4 // as-of / pin epoch outside the retention window (engine.ErrEpochNotRetained)
 )
 
 const (
@@ -113,6 +133,14 @@ type Request struct {
 	Box     geom.Box    // OpRange, OpRangeCount
 	Ins     geom.Points // OpUpdate
 	Del     geom.Points // OpUpdate
+
+	// AsOf is the time-travel epoch of a read op (OpKNN, OpRange,
+	// OpRangeCount): 0 answers from the live snapshot, nonzero from that
+	// exact retained or pinned epoch.
+	AsOf uint64
+	// Epoch is OpPin's target (0 = pin the latest commit) and OpUnpin's
+	// required epoch to release.
+	Epoch uint64
 }
 
 // Response is one decoded server response.
@@ -134,7 +162,7 @@ type Response struct {
 	IDs       []int32   // OpRange results; OpUpdate assigned ids
 	Count     uint64    // OpRangeCount
 	Deleted   uint64    // OpUpdate
-	Epoch     uint64    // OpUpdate, OpEpoch, OpCheckpoint
+	Epoch     uint64    // OpUpdate, OpEpoch, OpCheckpoint; OpPin/OpUnpin: the epoch pinned/released
 	Stats     []Stat    // OpStats
 }
 
@@ -172,14 +200,18 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	p = binary.LittleEndian.AppendUint64(p, r.ID)
 	switch r.Op {
 	case OpKNN:
+		p = binary.LittleEndian.AppendUint64(p, r.AsOf)
 		p = binary.LittleEndian.AppendUint32(p, uint32(r.K))
 		p = appendPoints(p, r.Queries)
 	case OpRange, OpRangeCount:
+		p = binary.LittleEndian.AppendUint64(p, r.AsOf)
 		p = appendCoords(p, r.Box.Min)
 		p = appendCoords(p, r.Box.Max)
 	case OpUpdate:
 		p = appendPoints(p, r.Ins)
 		p = appendPoints(p, r.Del)
+	case OpPin, OpUnpin:
+		p = binary.LittleEndian.AppendUint64(p, r.Epoch)
 	}
 	return appendFrame(dst, p)
 }
@@ -215,7 +247,7 @@ func AppendResponse(dst []byte, r *Response) []byte {
 		p = appendIDs(p, r.IDs)
 		p = binary.LittleEndian.AppendUint64(p, r.Deleted)
 		p = binary.LittleEndian.AppendUint64(p, r.Epoch)
-	case OpEpoch, OpCheckpoint:
+	case OpEpoch, OpCheckpoint, OpPin, OpUnpin:
 		p = binary.LittleEndian.AppendUint64(p, r.Epoch)
 	case OpStats:
 		p = binary.LittleEndian.AppendUint32(p, uint32(len(r.Stats)))
@@ -351,6 +383,11 @@ func DecodeRequest(buf []byte, dim int) (Request, int, error) {
 	case OpHello, OpEpoch, OpCheckpoint, OpStats:
 		// No body.
 	case OpKNN:
+		asof, ok := c.u64()
+		if !ok {
+			return Request{}, 0, fmt.Errorf("%w: KNN missing as-of epoch", ErrCorrupt)
+		}
+		r.AsOf = asof
 		k, ok := c.u32()
 		if !ok {
 			return Request{}, 0, fmt.Errorf("%w: KNN missing k", ErrCorrupt)
@@ -360,11 +397,22 @@ func DecodeRequest(buf []byte, dim int) (Request, int, error) {
 			return Request{}, 0, err
 		}
 	case OpRange, OpRangeCount:
+		asof, ok := c.u64()
+		if !ok {
+			return Request{}, 0, fmt.Errorf("%w: range missing as-of epoch", ErrCorrupt)
+		}
+		r.AsOf = asof
 		if c.rest() != 2*dim*8 {
 			return Request{}, 0, fmt.Errorf("%w: range box size %d, want %d", ErrCorrupt, c.rest(), 2*dim*8)
 		}
 		r.Box.Min = c.coords(dim)
 		r.Box.Max = c.coords(dim)
+	case OpPin, OpUnpin:
+		epoch, ok := c.u64()
+		if !ok {
+			return Request{}, 0, fmt.Errorf("%w: pin op missing epoch", ErrCorrupt)
+		}
+		r.Epoch = epoch
 	case OpUpdate:
 		if r.Ins, err = c.points(dim, "insert"); err != nil {
 			return Request{}, 0, err
@@ -400,7 +448,7 @@ func DecodeResponse(buf []byte, dim int) (Response, int, error) {
 	}
 	c := &body{b: payload[respMinSize:]}
 	if r.Status != StatusOK {
-		if r.Status != StatusClosed && r.Status != StatusError && r.Status != StatusOverloaded {
+		if r.Status != StatusClosed && r.Status != StatusError && r.Status != StatusOverloaded && r.Status != StatusNotRetained {
 			return Response{}, 0, fmt.Errorf("%w: unknown status %d", ErrCorrupt, r.Status)
 		}
 		if r.Status == StatusOverloaded {
@@ -466,7 +514,7 @@ func DecodeResponse(buf []byte, dim int) (Response, int, error) {
 			return Response{}, 0, fmt.Errorf("%w: short update result", ErrCorrupt)
 		}
 		r.Deleted, r.Epoch = del, ep
-	case OpEpoch, OpCheckpoint:
+	case OpEpoch, OpCheckpoint, OpPin, OpUnpin:
 		v, ok := c.u64()
 		if !ok {
 			return Response{}, 0, fmt.Errorf("%w: short epoch", ErrCorrupt)

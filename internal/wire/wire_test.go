@@ -27,6 +27,12 @@ func sampleRequests() []Request {
 		{Op: OpEpoch, ID: 8},
 		{Op: OpCheckpoint, ID: 9},
 		{Op: OpStats, ID: 10},
+		{Op: OpKNN, ID: 11, K: 2, Queries: pts(2, 5, 6), AsOf: 42},
+		{Op: OpRange, ID: 12, Box: geom.Box{Min: []float64{0, 0}, Max: []float64{1, 1}}, AsOf: 7},
+		{Op: OpRangeCount, ID: 13, Box: geom.Box{Min: []float64{0, 0}, Max: []float64{1, 1}}, AsOf: ^uint64(0)},
+		{Op: OpPin, ID: 14},
+		{Op: OpPin, ID: 15, Epoch: 31},
+		{Op: OpUnpin, ID: 16, Epoch: 31},
 	}
 }
 
@@ -51,6 +57,10 @@ func sampleResponses() []Response {
 		{Op: OpKNN, ID: 16, Status: StatusOverloaded, RetryAfterMillis: 12, ErrMsg: "server: overloaded (reads)"},
 		{Op: OpUpdate, ID: 17, Status: StatusOverloaded, RetryAfterMillis: 0, ErrMsg: ""},
 		{Op: OpUpdate, ID: 18, Status: StatusOverloaded, RetryAfterMillis: ^uint32(0), ErrMsg: "engine: overloaded: commit queue full"},
+		{Op: OpPin, ID: 19, Epoch: 55},
+		{Op: OpUnpin, ID: 20, Epoch: 55},
+		{Op: OpKNN, ID: 21, Status: StatusNotRetained, ErrMsg: "engine: epoch not retained"},
+		{Op: OpPin, ID: 22, Status: StatusNotRetained, ErrMsg: "engine: epoch not retained: epoch 3"},
 	}
 }
 
@@ -132,10 +142,11 @@ func TestDecodeRejects(t *testing.T) {
 	// holds must be rejected before any allocation sized from it.
 	huge := &Request{Op: OpKNN, ID: 1, K: 1, Queries: pts(2, 1, 2)}
 	buf := AppendRequest(nil, huge)
-	// Rewrite the row count (payload offset 9+4) to an absurd value and
-	// re-stamp the CRC so only the semantic check can catch it.
+	// Rewrite the row count (payload offset 9+8+4: header, as-of epoch, k)
+	// to an absurd value and re-stamp the CRC so only the semantic check
+	// can catch it.
 	payload := append([]byte{}, buf[frameHeaderSize:]...)
-	payload[13], payload[14], payload[15], payload[16] = 0xff, 0xff, 0xff, 0x7f
+	payload[21], payload[22], payload[23], payload[24] = 0xff, 0xff, 0xff, 0x7f
 	reframed := appendFrame(nil, payload)
 	if _, n, err := DecodeRequest(reframed, 2); !errors.Is(err, ErrCorrupt) || n != 0 {
 		t.Errorf("oversized row count: err=%v n=%d, want ErrCorrupt, 0", err, n)

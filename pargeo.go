@@ -24,6 +24,13 @@
 // algorithms address points by index and parallelize through the
 // work-stealing fork-join scheduler in internal/parlay, which honors
 // GOMAXPROCS and degrades to sequential execution on one processor.
+//
+// Beyond the paper's modules, the library serves its trees: Engine is a
+// concurrent, shardable, optionally durable spatial query service with
+// snapshot isolation, MVCC retention (time-travel reads, pinned-snapshot
+// analytics), and a network layer (cmd/pargeo-serve and the client
+// package). docs/ARCHITECTURE.md at the repository root is the map of
+// how those layers stack and the invariants that hold them together.
 package pargeo
 
 import (
@@ -168,7 +175,11 @@ const (
 const AutoShards = engine.AutoShards
 
 // EngineSnapshot is an immutable committed version of an Engine's point
-// set; query it directly for multi-query consistency.
+// set; query it directly for multi-query consistency. With
+// EngineOptions.RetainEpochs set, Engine.AsOf returns the snapshot of any
+// recent epoch (time travel), and Engine.Pin / EngineSnapshot.Release
+// bracket long-running analytics — KNNGraph, CoreDistances, AllKNN — over
+// one consistent version while live writers keep committing.
 type EngineSnapshot = engine.Snapshot
 
 // UpdateResult reports a committed Engine update. Check Err on durable
@@ -188,6 +199,11 @@ type Durability = engine.Durability
 // ErrEngineClosed is reported (via UpdateResult.Err) for updates
 // submitted to a durable Engine after Close.
 var ErrEngineClosed = engine.ErrClosed
+
+// ErrEpochNotRetained is the errors.Is target for Engine.AsOf and
+// Engine.PinEpoch calls naming an epoch outside the retention window
+// (EngineOptions.RetainEpochs) that is not pinned either.
+var ErrEpochNotRetained = engine.ErrEpochNotRetained
 
 // NewEngine returns a concurrent query engine serving dim-dimensional
 // points, starting from an empty epoch-0 snapshot.
