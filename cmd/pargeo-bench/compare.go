@@ -110,11 +110,20 @@ func runCompare(args []string) int {
 	// (renamed, dropped, or the run was truncated) and its regression gate
 	// just went vacuous.
 	missing := 0
+	newKeys := make([]string, 0, len(newDoc.Results))
+	for _, r := range newDoc.Results {
+		newKeys = append(newKeys, r.Experiment+"/"+r.Name)
+	}
 	for _, o := range oldDoc.Results {
 		k := key{o.Experiment, o.Name, o.N, o.Dim}
 		if !seen[k] {
 			fmt.Fprintf(os.Stderr, "compare: baseline record %s/%s (n=%d dim=%d) missing from the new run\n",
 				k.exp, k.name, k.n, k.dim)
+			// The usual cause is a renamed benchmark, not a dropped one —
+			// point at the closest key the new run does have.
+			if s, ok := nearestKey(k.exp+"/"+k.name, newKeys); ok {
+				fmt.Fprintf(os.Stderr, "compare:   nearest new key: %s — if the benchmark was renamed, regenerate the baseline\n", s)
+			}
 			missing++
 		}
 	}
@@ -157,6 +166,40 @@ func runCompare(args []string) int {
 	}
 	fmt.Println("compare: no localized regressions beyond tolerance")
 	return 0
+}
+
+// nearestKey returns the candidate closest to want by edit distance,
+// provided it is close enough to plausibly be a rename (distance at most
+// half the key length) — suggesting a wildly different key would mislead.
+func nearestKey(want string, candidates []string) (string, bool) {
+	best, bestD := "", len(want)/2+1
+	for _, c := range candidates {
+		if d := editDistance(want, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, best != ""
+}
+
+// editDistance is the Levenshtein distance between a and b (two-row DP).
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			cur[j] = min(sub, prev[j]+1, cur[j-1]+1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // throughput returns a record's ops/s, deriving it from ns/op when the

@@ -117,3 +117,34 @@ func TestCompareUsage(t *testing.T) {
 		t.Fatalf("missing arg: exit %d", got)
 	}
 }
+
+// TestNearestKeySuggestion: a baseline key missing from the new run should
+// be matched to its closest new key (the typical cause is a rename), and no
+// suggestion should surface when nothing is plausibly close.
+func TestNearestKeySuggestion(t *testing.T) {
+	cands := []string{"kdtree/KNNQuery-f32", "kdtree/AllKNN", "engine/Commit"}
+	if s, ok := nearestKey("kdtree/KNNQuery", cands); !ok || s != "kdtree/KNNQuery-f32" {
+		t.Fatalf("nearestKey = %q, %v; want the renamed benchmark", s, ok)
+	}
+	if s, ok := nearestKey("hull/Quickhull3D", cands); ok {
+		t.Fatalf("nearestKey suggested %q for a key with no plausible rename", s)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"KNNQuery", "KNNQuery-f32", 4},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Fatalf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

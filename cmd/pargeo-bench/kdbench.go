@@ -8,6 +8,7 @@ import (
 	"pargeo/internal/generators"
 	"pargeo/internal/geom"
 	"pargeo/internal/kdtree"
+	"pargeo/internal/kernel"
 )
 
 // kdBench measures the kd-tree hot paths the arena layout targets: Build
@@ -15,8 +16,15 @@ import (
 // and range search. Each measurement is the best of three runs (builds) or
 // an average over a fixed query count, and every row is recorded for -json
 // output — this experiment generates the committed BENCH_kdtree.json.
+//
+// The SoA-vs-f64 section re-runs the query benchmarks with the float32
+// leaf filter forced off (coordinates scaled beyond the f32-safe bound, so
+// the tree takes its natural float64 fallback on an identical workload
+// shape) — the delta is the filter's contribution in isolation. The -f64
+// rows are recorded like every other, so the baseline also gates the
+// fallback path.
 func kdBench(n int, seed uint64) {
-	fmt.Println("=== kd-tree microbenchmarks (flat arena + leaf coordinate cache) ===")
+	fmt.Printf("=== kd-tree microbenchmarks (dim-major f32 leaf slabs, kernel %s) ===\n", kernel.Impl())
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "operation\tns/op\tops/s\n")
 	row := func(name string, dim int, secs float64, ops int) {
@@ -87,6 +95,44 @@ func kdBench(n int, seed uint64) {
 		}
 		secs = bestOf(3, func() { t.RangeSearchParallel(boxes) })
 		row(fmt.Sprintf("RangeSearch/d=%d", dim), dim, secs, len(boxes))
+
+		// SoA-vs-f64: the same workload with every coordinate scaled past
+		// the f32-safe bound, so the build keeps its float64 fallback and
+		// the filter's contribution shows up as the -f64 row delta.
+		const scale = 1e20
+		pts64 := geom.NewPoints(n, dim)
+		crow := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			p := pts.At(i)
+			for c := 0; c < dim; c++ {
+				crow[c] = p[c] * scale
+			}
+			pts64.Set(i, crow)
+		}
+		t64 := kdtree.Build(pts64, kdtree.Options{})
+		secs = bestOf(3, func() {
+			for q := 0; q < nq; q++ {
+				buf.Reset()
+				t64.KNNInto(pts64.At(q), int32(q), buf)
+			}
+		})
+		row(fmt.Sprintf("KNNQuery-f64/d=%d/k=5", dim), dim, secs, nq)
+		secs = bestOf(2, func() { t64.AllKNN(5, nil) })
+		row(fmt.Sprintf("AllKNN-f64/d=%d/k=5", dim), dim, secs, n)
+		boxes64 := make([]geom.Box, len(boxes))
+		for i, b := range boxes {
+			s := geom.EmptyBox(dim)
+			lo := make([]float64, dim)
+			hi := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				lo[d], hi[d] = b.Min[d]*scale, b.Max[d]*scale
+			}
+			s.Expand(lo)
+			s.Expand(hi)
+			boxes64[i] = s
+		}
+		secs = bestOf(3, func() { t64.RangeSearchParallel(boxes64) })
+		row(fmt.Sprintf("RangeSearch-f64/d=%d", dim), dim, secs, len(boxes64))
 	}
 	w.Flush()
 }

@@ -1,0 +1,121 @@
+package bdltree
+
+import (
+	"fmt"
+	"testing"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/oracle"
+)
+
+// Differential tests for the float32 leaf filter in the BDL-tree: the
+// shared-buffer k-NN protocol re-arms the filter per static tree (each tree
+// has its own magnitude gate), and tombstoned points must never be counted
+// by the filter's eager threshold. As in kdtree, the filter only discards —
+// survivors are re-verified in float64 — so answers are exact.
+
+// TestBDLF32NearTies drives a multi-tree BDL structure (several insert
+// batches, then a deletion creating tombstones) with distance gaps of
+// ~1e-12 at magnitude ~1000, far below float32 resolution. Returned
+// distances must be the exact float64 ranking.
+func TestBDLF32NearTies(t *testing.T) {
+	const (
+		dim  = 3
+		base = 1000.0
+		gap  = 1e-12
+	)
+	tr := New(dim, Options{BufferSize: 16})
+	m := &oracle.LiveSet{Dim: dim}
+	row := make([]float64, dim)
+	mk := func(i int) []float64 {
+		off := float64(i) * gap
+		if i%8 == 7 {
+			off = float64(i-1) * gap // exact duplicate of predecessor
+		}
+		for c := 0; c < dim; c++ {
+			row[c] = 0
+		}
+		row[i%dim] = base + off
+		return row
+	}
+	// Three batches -> buffer tree + multiple static trees.
+	for b := 0; b < 3; b++ {
+		batch := geom.NewPoints(24, dim)
+		for i := 0; i < 24; i++ {
+			batch.Set(i, mk(b*24+i))
+		}
+		ids := tr.Insert(batch)
+		m.Insert(ids, batch)
+	}
+	// Tombstone a slice of the points (delete-by-coordinates).
+	dead := geom.NewPoints(8, dim)
+	for i := 0; i < 8; i++ {
+		dead.Set(i, mk(3*i))
+	}
+	tr.Delete(dead)
+	m.Remove(dead)
+
+	live := m.Points()
+	probes := geom.NewPoints(2, dim)
+	probes.Set(0, make([]float64, dim))
+	probes.Set(1, mk(30))
+	for _, k := range []int{1, 5, 16, 40} {
+		res := tr.KNN(probes, k, nil)
+		for qi := 0; qi < probes.Len(); qi++ {
+			q := probes.At(qi)
+			wantD := oracle.KNNDists(live, q, k, -1)
+			lbl := fmt.Sprintf("k%d/q%d", k, qi)
+			if len(res[qi]) != len(wantD) {
+				t.Fatalf("%s: got %d neighbors, oracle %d", lbl, len(res[qi]), len(wantD))
+			}
+			for j, gid := range res[qi] {
+				c := m.CoordsOf(gid)
+				if c == nil {
+					t.Fatalf("%s: returned dead/unknown gid %d", lbl, gid)
+				}
+				if d := geom.SqDist(q, c); d != wantD[j] {
+					t.Fatalf("%s: dist[%d] = %.17g, oracle %.17g", lbl, j, d, wantD[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBDLF32LargeCoordFallback pins the per-tree magnitude gate: a tree
+// whose coordinates exceed the float32-safe bound answers through the exact
+// float64 scan, and mixing such a tree with filtered trees in one sharded
+// query stays exact (the shared buffer is re-armed per tree).
+func TestBDLF32LargeCoordFallback(t *testing.T) {
+	const dim = 2
+	tr := New(dim, Options{BufferSize: 8})
+	m := &oracle.LiveSet{Dim: dim}
+	small := geom.NewPoints(16, dim)
+	for i := 0; i < 16; i++ {
+		small.Set(i, []float64{float64(i), float64(i % 5)})
+	}
+	big := geom.NewPoints(16, dim)
+	for i := 0; i < 16; i++ {
+		big.Set(i, []float64{1e30 * float64(i), -1e29 * float64(i%7)})
+	}
+	ids := tr.Insert(small)
+	m.Insert(ids, small)
+	ids = tr.Insert(big)
+	m.Insert(ids, big)
+
+	live := m.Points()
+	probes := geom.NewPoints(2, dim)
+	probes.Set(0, []float64{3, 3})
+	probes.Set(1, []float64{5e30, 0})
+	for _, k := range []int{1, 4, 10} {
+		res := tr.KNN(probes, k, nil)
+		for qi := 0; qi < probes.Len(); qi++ {
+			q := probes.At(qi)
+			wantD := oracle.KNNDists(live, q, k, -1)
+			for j, gid := range res[qi] {
+				if d := geom.SqDist(q, m.CoordsOf(gid)); d != wantD[j] {
+					t.Fatalf("k%d/q%d: dist[%d] = %v, oracle %v", k, qi, j, d, wantD[j])
+				}
+			}
+		}
+	}
+}

@@ -43,7 +43,7 @@ func (t *Tree) MemoryFootprint(seen map[any]struct{}) uint64 {
 		charge(unsafe.SliceData(vt.idx), len(vt.idx)*4)
 		charge(unsafe.SliceData(vt.nodes), len(vt.nodes)*int(unsafe.Sizeof(vnode{})))
 		charge(unsafe.SliceData(vt.dead), len(vt.dead))
-		charge(unsafe.SliceData(vt.leafCoords), len(vt.leafCoords)*8)
+		charge(unsafe.SliceData(vt.coordsF32), len(vt.coordsF32)*4)
 	}
 	count(t.buffer)
 	for _, vt := range t.trees {

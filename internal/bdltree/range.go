@@ -1,12 +1,94 @@
 package bdltree
 
 import (
+	"math"
+
 	"pargeo/internal/geom"
+	"pargeo/internal/kdtree"
+	"pargeo/internal/kernel"
 	"pargeo/internal/parlay"
 )
 
-// rangeRec collects live points inside box from the subtree at heap h.
-func (t *vebTree) rangeRec(h, depth int, box geom.Box, out *[]int32, table []int32) {
+// vebRangeChunk is the leaf-scan chunk of the f32 range prefilter:
+// PruneBox masks land in a fixed stack buffer so range queries allocate
+// nothing per leaf (spatial-median trees can have leaves well beyond
+// vebLeafSize, so the scan is chunked).
+const vebRangeChunk = 64
+
+// vebRangeCtx carries one range query's state down the recursion: the
+// exact float64 box plus — when the tree's f32 filter is sound — its
+// conservatively widened float32 image (2× the coordinate error bound per
+// side, as in kdtree). Every truly-inside point passes the widened f32
+// test; survivors are re-verified against the float64 truth, so results
+// are exact.
+type vebRangeCtx struct {
+	box        geom.Box
+	lo32, hi32 [kdtree.MaxDim]float32
+	f32        bool
+}
+
+func (t *vebTree) makeRangeCtx(box geom.Box) vebRangeCtx {
+	rc := vebRangeCtx{box: box}
+	if !t.f32ok {
+		return rc
+	}
+	pad := 2 * t.maxAbs * kdtree.F32CoordErr
+	for c := 0; c < t.pts.Dim; c++ {
+		if math.IsNaN(box.Min[c]) || math.IsNaN(box.Max[c]) {
+			return rc
+		}
+		rc.lo32[c] = float32(box.Min[c] - pad)
+		rc.hi32[c] = float32(box.Max[c] + pad)
+	}
+	rc.f32 = true
+	return rc
+}
+
+// rangeLeaf collects the live in-box points of one leaf. inside means the
+// whole leaf box is covered, so only tombstones need checking; otherwise
+// the f32 column filter discards far points in bulk and every survivor is
+// re-verified against the exact float64 coordinates.
+func (t *vebTree) rangeLeaf(nd *vnode, rc *vebRangeCtx, inside bool, out *[]int32) {
+	dim := t.pts.Dim
+	if inside {
+		for i := nd.lo; i < nd.hi; i++ {
+			if li := t.idx[i]; !t.dead[li] {
+				*out = append(*out, t.orig[li])
+			}
+		}
+		return
+	}
+	m := int(nd.hi - nd.lo)
+	if !rc.f32 {
+		for i := nd.lo; i < nd.hi; i++ {
+			li := t.idx[i]
+			if !t.dead[li] && rc.box.Contains(t.pts.At(int(li))) {
+				*out = append(*out, t.orig[li])
+			}
+		}
+		return
+	}
+	slab := t.coordsF32[int(nd.lo)*dim:]
+	var mask [vebRangeChunk]byte
+	for off := 0; off < m; off += vebRangeChunk {
+		cn := m - off
+		if cn > vebRangeChunk {
+			cn = vebRangeChunk
+		}
+		kernel.PruneBox(mask[:cn], rc.lo32[:dim], rc.hi32[:dim], slab[off:], cn, m)
+		for i := 0; i < cn; i++ {
+			if mask[i] != 0 {
+				li := t.idx[int(nd.lo)+off+i]
+				if !t.dead[li] && rc.box.Contains(t.pts.At(int(li))) {
+					*out = append(*out, t.orig[li])
+				}
+			}
+		}
+	}
+}
+
+// rangeRec collects live points inside the box from the subtree at heap h.
+func (t *vebTree) rangeRec(h, depth int, rc *vebRangeCtx, out *[]int32, table []int32) {
 	nd := &t.nodes[table[h]]
 	if nd.lo >= nd.hi {
 		return
@@ -15,11 +97,11 @@ func (t *vebTree) rangeRec(h, depth int, box geom.Box, out *[]int32, table []int
 	disjoint := false
 	inside := true
 	for c := 0; c < dim; c++ {
-		if nd.maxC[c] < box.Min[c] || nd.minC[c] > box.Max[c] {
+		if nd.maxC[c] < rc.box.Min[c] || nd.minC[c] > rc.box.Max[c] {
 			disjoint = true
 			break
 		}
-		if nd.minC[c] < box.Min[c] || nd.maxC[c] > box.Max[c] {
+		if nd.minC[c] < rc.box.Min[c] || nd.maxC[c] > rc.box.Max[c] {
 			inside = false
 		}
 	}
@@ -27,18 +109,11 @@ func (t *vebTree) rangeRec(h, depth int, box geom.Box, out *[]int32, table []int
 		return
 	}
 	if inside || depth == t.levels {
-		base := int(nd.lo) * dim
-		for i := nd.lo; i < nd.hi; i++ {
-			li := t.idx[i]
-			if !t.dead[li] && (inside || box.Contains(t.leafCoords[base:base+dim])) {
-				*out = append(*out, t.orig[li])
-			}
-			base += dim
-		}
+		t.rangeLeaf(nd, rc, inside, out)
 		return
 	}
-	t.rangeRec(2*h, depth+1, box, out, table)
-	t.rangeRec(2*h+1, depth+1, box, out, table)
+	t.rangeRec(2*h, depth+1, rc, out, table)
+	t.rangeRec(2*h+1, depth+1, rc, out, table)
 }
 
 // rangeSearch returns the global ids of live points inside the closed box.
@@ -47,7 +122,8 @@ func (t *vebTree) rangeSearch(box geom.Box) []int32 {
 		return nil
 	}
 	var out []int32
-	t.rangeRec(1, 1, box, &out, vebTable(t.levels))
+	rc := t.makeRangeCtx(box)
+	t.rangeRec(1, 1, &rc, &out, vebTable(t.levels))
 	return out
 }
 

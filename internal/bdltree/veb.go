@@ -15,6 +15,17 @@
 // Navigation uses heap indices (children 2h, 2h+1) translated through the
 // memoized vEB position table.
 //
+// Leaf scan layout: like kdtree, every vEB tree caches its leaf
+// coordinates as dimension-major (SoA) float32 slabs — a leaf owning rows
+// [lo,hi) stores coordinate c of its i-th point at coordsF32[lo·Dim+c·m+i]
+// with m = hi−lo — and the k-NN and range inner loops run the
+// internal/kernel scan primitives over those columns. The float32 pass is
+// a filter only: every candidate it admits is re-verified against the
+// exact float64 coordinates, trees whose magnitudes exceed the f32-safe
+// bound never arm the filter, and the shared k-NN buffer is re-armed per
+// static tree (each tree carries its own magnitude gate). Results are
+// identical to the float64 scan.
+//
 // The package also provides the two baselines the paper evaluates against
 // (§6.3): B1, which rebuilds one static tree on every update, and B2, which
 // inserts into leaf buffers in place and tombstones deletions.
@@ -26,6 +37,7 @@ import (
 
 	"pargeo/internal/geom"
 	"pargeo/internal/kdtree"
+	"pargeo/internal/kernel"
 	"pargeo/internal/parlay"
 )
 
@@ -110,11 +122,19 @@ type vebTree struct {
 	live   int
 	split  SplitRule
 	leaf   int
-	// leafCoords caches coordinates in idx (leaf) order, mirroring
-	// kdtree.Tree.LeafCoords: the k-NN / range inner loops scan one
-	// contiguous stretch per leaf instead of indirecting idx → pts. Built
+	// coordsF32 caches coordinates as dimension-major (SoA) float32 slabs,
+	// one per leaf, mirroring kdtree.Tree.CoordsF32: a leaf owning idx range
+	// [lo, hi) with m points stores coordinate c of its i-th point at
+	// coordsF32[lo*dim + c*m + i]. The k-NN and range inner loops scan these
+	// columns through internal/kernel as a conservative filter and re-verify
+	// survivors (and tombstones) against the float64 truth in pts. Built
 	// once after construction; immutable, so persistent clones share it.
-	leafCoords []float64
+	coordsF32 []float32
+	// maxAbs / f32ok gate the filter exactly as kdtree.Tree does: largest
+	// |coordinate| from the root box, and whether f32 scanning is sound
+	// (finite, NaN-free, within kdtree.F32SafeMax).
+	maxAbs float64
+	f32ok  bool
 }
 
 // vebLeafSize is the per-leaf point capacity ("a small constant number of
@@ -152,10 +172,41 @@ func newVEBTree(pts geom.Points, orig []int32, split SplitRule) *vebTree {
 	table := vebTable(levels)
 	t.build(1, 1, 0, int32(n), table)
 	dim := pts.Dim
-	t.leafCoords = make([]float64, n*dim)
-	parlay.For(n, 0, func(i int) {
-		copy(t.leafCoords[i*dim:(i+1)*dim], pts.At(int(t.idx[i])))
+	// Fill the dimension-major leaf slabs (leaves are the deepest heap
+	// level) and derive the f32-filter gate from the root box.
+	t.coordsF32 = make([]float32, n*dim)
+	firstLeaf := 1 << (levels - 1)
+	parlay.For(firstLeaf, 0, func(j int) {
+		nd := &t.nodes[table[firstLeaf+j]]
+		m := int(nd.hi - nd.lo)
+		if m == 0 {
+			return
+		}
+		slab := t.coordsF32[int(nd.lo)*dim : (int(nd.lo)+m)*dim]
+		for i := 0; i < m; i++ {
+			p := pts.At(int(t.idx[int(nd.lo)+i]))
+			for c := 0; c < dim; c++ {
+				slab[c*m+i] = float32(p[c])
+			}
+		}
 	})
+	root := &t.nodes[table[1]]
+	a := 0.0
+	for c := 0; c < dim; c++ {
+		if !(root.minC[c] <= root.maxC[c]) { // NaN box
+			return t
+		}
+		if v := math.Abs(root.minC[c]); v > a {
+			a = v
+		}
+		if v := math.Abs(root.maxC[c]); v > a {
+			a = v
+		}
+	}
+	if a > kdtree.F32SafeMax {
+		return t
+	}
+	t.maxAbs, t.f32ok = a, true
 	return t
 }
 
@@ -224,13 +275,64 @@ func (t *vebTree) build(h, depth int, lo, hi int32, table []int32) {
 }
 
 // knnInto adds this tree's neighbors of query q into buf (the shared-buffer
-// protocol of Appendix C.4). exclude is a global id to skip (-1 none).
+// protocol of Appendix C.4). exclude is a global id to skip (-1 none). The
+// float32 column filter is re-armed per tree — each static tree carries its
+// own magnitude gate — while the candidate bound carries across trees.
 func (t *vebTree) knnInto(q []float64, exclude int32, buf *kdtree.KNNBuffer) {
 	if t == nil || t.live == 0 {
 		return
 	}
+	buf.PrepareF32(q, t.maxAbs, t.f32ok)
 	table := vebTable(t.levels)
 	t.knnRec(1, 1, q, exclude, buf, table)
+}
+
+// scanLeaf is the bdltree analogue of kdtree's filtered leaf scan: the
+// kernel computes the whole leaf's f32 squared distances from the
+// dimension-major slab, and only candidates within the refine threshold
+// are checked against tombstones and re-measured in float64. The eager
+// first-leaf threshold is sound only while every scanned point is a live
+// candidate, so it is gated on the tree having no tombstones.
+func (t *vebTree) scanLeaf(nd *vnode, q []float64, exclude int32, buf *kdtree.KNNBuffer) {
+	dim := t.pts.Dim
+	m := int(nd.hi - nd.lo)
+	if !buf.ScanF32() {
+		// Fallback (huge or NaN coordinates): exact scalar float64 scan.
+		for i := nd.lo; i < nd.hi; i++ {
+			li := t.idx[i]
+			if !t.dead[li] {
+				if g := t.orig[li]; g != exclude {
+					buf.Insert(g, geom.SqDist(q, t.pts.At(int(li))))
+				}
+			}
+		}
+		return
+	}
+	base := int(nd.lo) * dim
+	dists := buf.DistScratch(m)
+	kernel.SqDistsF32(dists, buf.Q32(dim), t.coordsF32[base:base+m*dim], m, m)
+	thr := buf.RefineThreshold()
+	eager := false
+	if math.IsInf(thr, 1) && t.live == t.pts.Len() {
+		eager = true
+		thr = buf.EagerThreshold(dists)
+	}
+	for i := 0; i < m; i++ {
+		if float64(dists[i]) <= thr {
+			li := t.idx[int(nd.lo)+i]
+			if !t.dead[li] {
+				if g := t.orig[li]; g != exclude {
+					buf.Insert(g, geom.SqDist(q, t.pts.At(int(li))))
+					if t2 := buf.RefineThreshold(); t2 < thr {
+						thr = t2
+					}
+				}
+			}
+		}
+	}
+	if eager {
+		buf.SealEager()
+	}
 }
 
 func (t *vebTree) knnRec(h, depth int, q []float64, exclude int32, buf *kdtree.KNNBuffer, table []int32) {
@@ -239,17 +341,7 @@ func (t *vebTree) knnRec(h, depth int, q []float64, exclude int32, buf *kdtree.K
 		return
 	}
 	if depth == t.levels {
-		dim := t.pts.Dim
-		base := int(nd.lo) * dim
-		for i := nd.lo; i < nd.hi; i++ {
-			li := t.idx[i]
-			if !t.dead[li] {
-				if g := t.orig[li]; g != exclude {
-					buf.Insert(g, geom.SqDist(q, t.leafCoords[base:base+dim]))
-				}
-			}
-			base += dim
-		}
+		t.scanLeaf(nd, q, exclude, buf)
 		return
 	}
 	near, far := 2*h, 2*h+1
@@ -264,17 +356,8 @@ func (t *vebTree) knnRec(h, depth int, q []float64, exclude int32, buf *kdtree.K
 }
 
 func (t *vebTree) boxSqDist(nd *vnode, q []float64) float64 {
-	s := 0.0
-	for c := 0; c < t.pts.Dim; c++ {
-		if v := q[c]; v < nd.minC[c] {
-			d := nd.minC[c] - v
-			s += d * d
-		} else if v > nd.maxC[c] {
-			d := v - nd.maxC[c]
-			s += d * d
-		}
-	}
-	return s
+	dim := t.pts.Dim
+	return kernel.MinSqDistToBox(q, nd.minC[:dim], nd.maxC[:dim])
 }
 
 // erase tombstones every live point whose coordinates exactly match a batch

@@ -152,12 +152,17 @@ type combiner struct {
 // migration remaps shard ranges. recent is a ring of recently committed
 // row coordinates (written under commitMu, read by the rebalancer under
 // every commitMu): the write-load sample whose median Morton code places
-// a split boundary where the writes are, not where the points are.
+// a split boundary where the writes are, not where the points are. The
+// ring stores float32 in dimension-major order (coordinate c of slot i at
+// recent[c*recentRows+i], matching the kd-tree leaf slab layout): Morton
+// quantization uses at most 21 bits per axis, far below float32
+// precision, and the rebalancer only ever reads the ring column-wise
+// through morton.EncodeCols.
 type shard struct {
 	comb      combiner
 	commitMu  sync.Mutex
 	load      atomic.Uint64 // float64 bits of the committed-rows EWMA
-	recent    []float64     // dim-strided ring of sampled committed rows
+	recent    []float32     // dim-major ring of sampled committed rows
 	recentReq []int32       // per-row tag: which update request the row came from
 	reqSeq    int32         // request tag generator
 	recentW   int           // ring write cursor, in rows
@@ -187,7 +192,7 @@ func (sh *shard) sampleRows(batch geom.Points, dim int) {
 		return
 	}
 	if sh.recent == nil {
-		sh.recent = make([]float64, recentRows*dim)
+		sh.recent = make([]float32, recentRows*dim)
 		sh.recentReq = make([]int32, recentRows)
 	}
 	tag := sh.reqSeq
@@ -198,7 +203,10 @@ func (sh *shard) sampleRows(batch geom.Points, dim int) {
 	}
 	for i := 0; i < n; i += step {
 		slot := sh.recentW % recentRows
-		copy(sh.recent[slot*dim:(slot+1)*dim], batch.At(i))
+		p := batch.At(i)
+		for c := 0; c < dim; c++ {
+			sh.recent[c*recentRows+slot] = float32(p[c])
+		}
 		sh.recentReq[slot] = tag
 		sh.recentW++
 	}

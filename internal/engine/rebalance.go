@@ -404,7 +404,7 @@ func (e *Engine) writeMedianCut(s int, part *partition, lo, hi uint64, live []ui
 	}
 	sample := make([]row, 0, n)
 	for i := 0; i < n; i++ {
-		c := morton.Encode(sh.recent[i*e.dim:(i+1)*e.dim], part.world)
+		c := morton.EncodeCols(sh.recent, recentRows, i, e.dim, part.world)
 		if c >= lo && c <= hi {
 			sample = append(sample, row{c, sh.recentReq[i]})
 		}

@@ -74,6 +74,9 @@ func TestBuildAllocsDoNotScaleWithNodes(t *testing.T) {
 func TestKNNIntoZeroAllocs(t *testing.T) {
 	pts := generators.UniformCube(5000, 3, 7)
 	tr := Build(pts, Options{})
+	if !tr.f32ok {
+		t.Fatal("expected the f32 leaf filter active; zero-alloc claim must cover the f32 scan path")
+	}
 	buf := NewKNNBuffer(8)
 	q := pts.At(123)
 	allocs := testing.AllocsPerRun(200, func() {
@@ -101,5 +104,32 @@ func TestRangeCountZeroAllocs(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("RangeCount did %.2f allocs/run, want 0", allocs)
+	}
+}
+
+// allknnSerialAllocBudget bounds a sub-grain (single-worker) AllKNN pass:
+// the result slice, the buffer pool and its one KNNBuffer (id/dist rows
+// plus the f32 query and distance scratch), and the ancestor-path slice.
+// Nothing may scale with the number of queries — the seeded co-traversal
+// reuses one buffer across the whole batch.
+const allknnSerialAllocBudget = 24
+
+func TestAllKNNAllocsConstantSerial(t *testing.T) {
+	for _, n := range []int{500, 2000} {
+		pts := generators.UniformCube(n, 3, 21)
+		tr := Build(pts, Options{})
+		if !tr.f32ok {
+			t.Fatal("expected the f32 leaf filter active")
+		}
+		allocs := testing.AllocsPerRun(5, func() {
+			tr.AllKNN(4, nil)
+		})
+		if raceEnabled {
+			return
+		}
+		if allocs > allknnSerialAllocBudget {
+			t.Errorf("n=%d: AllKNN did %.0f allocs/run, budget %d (per-query allocation crept in)",
+				n, allocs, allknnSerialAllocBudget)
+		}
 	}
 }

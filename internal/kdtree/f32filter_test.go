@@ -1,0 +1,186 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pargeo/internal/geom"
+	"pargeo/internal/oracle"
+)
+
+// Differential tests for the float32 leaf filter: the dimension-major f32
+// scan may only ever DISCARD points that provably cannot enter the answer —
+// every survivor is re-verified in float64 — so results must be exactly the
+// float64 answer, id for id whenever the distances make the answer unique.
+// These tests pin that contract across every point distribution, and on
+// adversarial inputs whose distance gaps are far below float32 resolution.
+
+// knnIDsDists answers one query through the production path (KNNInto with a
+// fresh buffer) and returns sorted ids plus exact float64 squared distances.
+func knnIDsDists(tr *Tree, q []float64, k int, exclude int32) ([]int32, []float64) {
+	buf := NewKNNBuffer(k)
+	tr.KNNInto(q, exclude, buf)
+	ids := make([]int32, k)
+	dists := make([]float64, k)
+	m := buf.ResultInto(ids, dists)
+	return ids[:m], dists[:m]
+}
+
+// TestF32FilterIDExact checks tree answers id-for-id against the oracle
+// whenever the answer is unique (all k distances pairwise distinct and
+// strictly below the (k+1)-th), and by exact float64 distance signature
+// otherwise — heavy duplicates included. A float32 filter that dropped a
+// true neighbor or admitted a wrong id fails here.
+func TestF32FilterIDExact(t *testing.T) {
+	const n = 400
+	for _, tc := range distCases {
+		for _, dim := range []int{2, 3, 5} {
+			for _, split := range []SplitRule{ObjectMedian, SpatialMedian} {
+				label := fmt.Sprintf("%s/d%d/%v", tc.name, dim, split)
+				pts := tc.gen(n, dim, 11)
+				tr := Build(pts, Options{Split: split})
+				for qi := 0; qi < n; qi += 17 {
+					q := pts.At(qi)
+					ex := int32(qi)
+					for _, k := range []int{1, 5, 16} {
+						wantIDs := oracle.KNN(pts, q, k, ex)
+						wantD := make([]float64, len(wantIDs))
+						for j, id := range wantIDs {
+							wantD[j] = geom.SqDist(q, pts.At(int(id)))
+						}
+						gotIDs, gotD := knnIDsDists(tr, q, k, ex)
+						lbl := fmt.Sprintf("%s/q%d/k%d", label, qi, k)
+						if len(gotIDs) != len(wantIDs) {
+							t.Fatalf("%s: got %d neighbors, oracle %d", lbl, len(gotIDs), len(wantIDs))
+						}
+						for j := range gotD {
+							if gotD[j] != wantD[j] {
+								t.Fatalf("%s: dist[%d] = %v, oracle %v", lbl, j, gotD[j], wantD[j])
+							}
+						}
+						// The answer set is unique iff no distance repeats
+						// inside the top k and the k-th beats the (k+1)-th.
+						unique := true
+						for j := 1; j < len(wantD); j++ {
+							if wantD[j] == wantD[j-1] {
+								unique = false
+							}
+						}
+						if next := oracle.KNNDists(pts, q, k+1, ex); len(next) > len(wantD) &&
+							len(wantD) > 0 && next[len(wantD)] == wantD[len(wantD)-1] {
+							unique = false
+						}
+						if unique {
+							for j := range gotIDs {
+								if gotIDs[j] != wantIDs[j] {
+									t.Fatalf("%s: id[%d] = %d, oracle %d", lbl, j, gotIDs[j], wantIDs[j])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestF32FilterNearTies drives the filter with distance gaps of ~1e-12 at
+// coordinate magnitude ~1000 — about eight decimal orders below float32
+// resolution there, so every candidate collapses to the same float32
+// distance and only the float64 refinement can order them. Some points are
+// exact duplicates (gap 0). The k-NN answer must still be the float64
+// ranking, id for id where distances are distinct.
+func TestF32FilterNearTies(t *testing.T) {
+	const (
+		n    = 64
+		base = 1000.0
+		gap  = 1e-12
+	)
+	for _, dim := range []int{2, 3, 5} {
+		pts := geom.NewPoints(n, dim)
+		row := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			// Shells around base with sub-f32 spacing; every 8th point
+			// duplicates its predecessor exactly.
+			off := float64(i) * gap
+			if i%8 == 7 {
+				off = float64(i-1) * gap
+			}
+			for c := 0; c < dim; c++ {
+				row[c] = 0
+			}
+			row[i%dim] = base + off
+			pts.Set(i, row)
+		}
+		q := make([]float64, dim)
+		for _, split := range []SplitRule{ObjectMedian, SpatialMedian} {
+			tr := Build(pts, Options{Split: split})
+			for _, k := range []int{1, 5, 16, 40} {
+				wantD := oracle.KNNDists(pts, q, k, -1)
+				gotIDs, gotD := knnIDsDists(tr, q, k, -1)
+				lbl := fmt.Sprintf("d%d/%v/k%d", dim, split, k)
+				if len(gotD) != len(wantD) {
+					t.Fatalf("%s: got %d neighbors, oracle %d", lbl, len(gotD), len(wantD))
+				}
+				wantIDs := oracle.KNN(pts, q, k, -1)
+				for j := range gotD {
+					if gotD[j] != wantD[j] {
+						t.Fatalf("%s: dist[%d] = %.17g, oracle %.17g", lbl, j, gotD[j], wantD[j])
+					}
+					// Distinct-distance positions must agree id-for-id.
+					tied := (j > 0 && wantD[j] == wantD[j-1]) ||
+						(j+1 < len(wantD) && wantD[j] == wantD[j+1])
+					if !tied && gotIDs[j] != wantIDs[j] {
+						t.Fatalf("%s: id[%d] = %d, oracle %d", lbl, j, gotIDs[j], wantIDs[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestF32FilterLargeCoordFallback pins the safety gate: coordinates beyond
+// F32SafeMax must disable the filter (conversion could overflow or lose the
+// error bound), and queries must fall back to the exact float64 scan.
+func TestF32FilterLargeCoordFallback(t *testing.T) {
+	const n = 100
+	for _, dim := range []int{2, 3} {
+		pts := geom.NewPoints(n, dim)
+		row := make([]float64, dim)
+		for i := 0; i < n; i++ {
+			for c := 0; c < dim; c++ {
+				row[c] = 1e30 * float64((i*13+c*7)%97) / 97
+			}
+			pts.Set(i, row)
+		}
+		tr := Build(pts, Options{})
+		if tr.f32ok {
+			t.Fatalf("d%d: f32 filter enabled on coords ~1e30 (> F32SafeMax)", dim)
+		}
+		for qi := 0; qi < n; qi += 9 {
+			q := pts.At(qi)
+			wantD := oracle.KNNDists(pts, q, 5, int32(qi))
+			_, gotD := knnIDsDists(tr, q, 5, int32(qi))
+			for j := range gotD {
+				if gotD[j] != wantD[j] {
+					t.Fatalf("d%d/q%d: dist[%d] = %v, oracle %v", dim, qi, j, gotD[j], wantD[j])
+				}
+			}
+		}
+	}
+}
+
+// TestF32FilterNonFiniteCoords: NaN/Inf coordinates also force the exact
+// fallback rather than scanning garbage float32 slabs.
+func TestF32FilterNonFiniteCoords(t *testing.T) {
+	pts := geom.NewPoints(8, 2)
+	for i := 0; i < 8; i++ {
+		pts.Set(i, []float64{float64(i), float64(i) * 2})
+	}
+	pts.Set(3, []float64{math.Inf(1), 1})
+	tr := Build(pts, Options{})
+	if tr.f32ok {
+		t.Fatal("f32 filter enabled with a +Inf coordinate")
+	}
+}

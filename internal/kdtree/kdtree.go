@@ -26,20 +26,42 @@
 // the general tree's analogue of the paper's cache-oblivious van Emde Boas
 // order for the BDL static trees (Appendix C.1.1, see bdltree/veb.go):
 // contiguous, pointer-free, and cache-friendly for the traversals ParGeo
-// performs. In addition, the tree caches each leaf's coordinates in one
-// leaf-ordered contiguous buffer (Tree.LeafCoords), so the inner distance
-// loops of k-NN and range search scan sequential memory instead of
-// indirecting through Idx into the strided point buffer.
+// performs.
+//
+// Leaf scan layout: the tree caches each leaf's coordinates as a
+// dimension-major (SoA) float32 slab (Tree.CoordsF32). A leaf owning Idx
+// positions [Lo, Hi) with m = Hi−Lo points stores coordinate c of its i-th
+// point at CoordsF32[Lo*Dim + c*m + i] — m-long columns, one per
+// dimension, filled at build time while the leaf's points are cache-hot.
+// The k-NN and range inner loops hand whole columns to internal/kernel
+// (SqDistsF32, PruneBox), which scans them 8 points per vector op on
+// hosts with AVX2 and in tight pure-Go loops elsewhere. float32 is a
+// conservative FILTER, never the answer: the scan discards only points
+// that provably cannot matter under the f32 error bound (see
+// KNNBuffer.PrepareF32 and docs/ARCHITECTURE.md "Scan kernels"), and every
+// surviving candidate is re-verified against the retained float64
+// coordinates in Pts — results are exact, id for id. Trees whose
+// coordinates cannot be safely filtered in float32 (magnitudes beyond
+// F32SafeMax, NaN boxes) fall back to scalar float64 scans of Pts.
 package kdtree
 
 import (
 	"math"
 
 	"pargeo/internal/geom"
+	"pargeo/internal/kernel"
 	"pargeo/internal/parlay"
 )
 
 var inf = math.Inf(1)
+
+// F32SafeMax is the largest coordinate magnitude (tree point or query) the
+// float32 filter path accepts. Below it, squared distances over MaxDim
+// dimensions stay finite in float32 (8·(2e18)² ≈ 3.2e37 < MaxFloat32) and
+// the filter's absolute error bound holds; beyond it — or when a bounding
+// box carries NaN — queries fall back to exact scalar float64 scans.
+// bdltree applies the same gate to its static trees.
+const F32SafeMax = 1e18
 
 // MaxDim is the largest supported dimensionality (the paper evaluates up to
 // 7 dimensions; boxes are stored inline for allocation-free nodes).
@@ -69,7 +91,7 @@ func (s SplitRule) String() string {
 // Options configure tree construction.
 type Options struct {
 	Split    SplitRule
-	LeafSize int // max points per leaf; default 16
+	LeafSize int // max points per leaf; default 32 (one f32 scan chunk)
 	Serial   bool
 }
 
@@ -101,12 +123,19 @@ type Tree struct {
 	// occupies a contiguous range, and a node's left child immediately
 	// follows it. Allocated in bulk — builds do O(1) allocations.
 	Nodes []Node
-	// LeafCoords caches point coordinates in leaf (Idx) order:
-	// LeafCoords[i*Dim:(i+1)*Dim] are the coordinates of point Idx[i], so a
-	// leaf's points occupy one contiguous stretch scanned sequentially by
-	// the k-NN and range-search inner loops.
-	LeafCoords []float64
-	opts       Options
+	// CoordsF32 caches point coordinates in dimension-major (SoA) float32
+	// columns, one slab per leaf: a leaf owning Idx range [Lo, Hi) with
+	// m = Hi−Lo points stores coordinate c of its i-th point at
+	// CoordsF32[Lo*Dim + c*m + i]. The k-NN and range inner loops scan
+	// these columns through internal/kernel as a conservative filter and
+	// re-verify survivors against the float64 truth in Pts.
+	CoordsF32 []float32
+	// maxAbs is the largest |coordinate| in the tree (from the root box)
+	// and f32ok whether the float32 filter path is sound for this data
+	// (finite, below F32SafeMax, NaN-free box). Derived once after build.
+	maxAbs float64
+	f32ok  bool
+	opts   Options
 }
 
 // Root returns the root node, or nil for an empty tree.
@@ -123,12 +152,6 @@ func (t *Tree) Left(nd *Node) *Node { return &t.Nodes[nd.Left] }
 // Right returns nd's right child (nd must be internal).
 func (t *Tree) Right(nd *Node) *Node { return &t.Nodes[nd.Right] }
 
-// LeafCoord returns the cached coordinates of the point at Idx position i.
-func (t *Tree) LeafCoord(i int) []float64 {
-	base := i * t.Pts.Dim
-	return t.LeafCoords[base : base+t.Pts.Dim]
-}
-
 // Build constructs a kd-tree over all points in pts.
 func Build(pts geom.Points, opts Options) *Tree {
 	n := pts.Len()
@@ -144,16 +167,16 @@ func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
 		panic("kdtree: dimension exceeds MaxDim")
 	}
 	if opts.LeafSize <= 0 {
-		opts.LeafSize = 16
+		opts.LeafSize = 32
 	}
 	t := &Tree{Pts: pts, Idx: idx, opts: opts}
 	n := len(idx)
 	if n == 0 {
 		return t
 	}
-	// The leaf-ordered coordinate cache is filled as each leaf is built,
+	// The dimension-major leaf slabs are filled as each leaf is built,
 	// while its points are still warm from the bounding-box pass.
-	t.LeafCoords = make([]float64, n*pts.Dim)
+	t.CoordsF32 = make([]float32, n*pts.Dim)
 	par := !opts.Serial
 	switch opts.Split {
 	case SpatialMedian:
@@ -171,7 +194,37 @@ func BuildIndexed(pts geom.Points, idx []int32, opts Options) *Tree {
 		t.Nodes = make([]Node, objectNodeCount(int32(n), int32(opts.LeafSize)))
 		t.buildObject(0, 0, int32(n), par)
 	}
+	t.finishF32()
 	return t
+}
+
+// finishF32 derives the float32-filter gate from the root bounding box
+// (already computed by the build): the filter is sound only when every
+// dimension's extent is finite, NaN-free, and within F32SafeMax. Checking
+// the box rather than rescanning points is free and race-free; a NaN
+// coordinate that a min/max pass absorbs silently was never supported by
+// the exact search paths, exactly as before this layout.
+func (t *Tree) finishF32() {
+	root := t.Root()
+	if root == nil {
+		return
+	}
+	maxAbs := 0.0
+	for c := 0; c < t.Pts.Dim; c++ {
+		mn, mx := root.MinC[c], root.MaxC[c]
+		if !(mn <= mx) { // NaN, or inverted from an all-NaN column
+			return
+		}
+		a := math.Max(math.Abs(mn), math.Abs(mx))
+		if a > F32SafeMax {
+			return
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	t.maxAbs = maxAbs
+	t.f32ok = true
 }
 
 // parallelBuildThreshold: below this many points a subtree builds serially —
@@ -242,7 +295,7 @@ func (t *Tree) buildObject(node, lo, hi int32, par bool) {
 	t.computeBox(nd, par)
 	n := hi - lo
 	if int(n) <= t.opts.LeafSize {
-		t.fillLeafCoords(lo, hi) // leaf: Left stays 0
+		t.fillLeafSlab(lo, hi) // leaf: Left stays 0
 		return
 	}
 	dim := widestDim(nd, t.Pts.Dim)
@@ -272,7 +325,7 @@ func (t *Tree) buildSpatial(arena []Node, node, lo, hi int32, par bool) int32 {
 	t.computeBox(nd, par)
 	n := hi - lo
 	if int(n) <= t.opts.LeafSize {
-		t.fillLeafCoords(lo, hi)
+		t.fillLeafSlab(lo, hi)
 		return 1
 	}
 	leafSize := int32(t.opts.LeafSize)
@@ -332,15 +385,19 @@ func compactPreorder(arena []Node, total int32) []Node {
 	return out
 }
 
-// fillLeafCoords copies the coordinates of Idx[lo:hi) — a freshly built
+// fillLeafSlab transposes the coordinates of Idx[lo:hi) — a freshly built
 // leaf's points, still cache-hot from its bounding-box pass — into the
-// leaf-ordered contiguous cache.
-func (t *Tree) fillLeafCoords(lo, hi int32) {
+// leaf's dimension-major float32 slab: m-long columns, one per dimension,
+// starting at CoordsF32[lo*Dim].
+func (t *Tree) fillLeafSlab(lo, hi int32) {
 	dim := t.Pts.Dim
-	base := int(lo) * dim
-	for i := lo; i < hi; i++ {
-		copy(t.LeafCoords[base:base+dim], t.Pts.At(int(t.Idx[i])))
-		base += dim
+	m := int(hi - lo)
+	slab := t.CoordsF32[int(lo)*dim : int(lo)*dim+m*dim]
+	for i := 0; i < m; i++ {
+		p := t.Pts.At(int(t.Idx[int(lo)+i]))
+		for c := 0; c < dim; c++ {
+			slab[c*m+i] = float32(p[c])
+		}
 	}
 }
 
@@ -494,6 +551,7 @@ func (t *Tree) KNN(queries []int32, k int) [][]int32 {
 // for none). With a reused buffer the query allocates nothing.
 func (t *Tree) KNNInto(q []float64, exclude int32, buf *KNNBuffer) {
 	if len(t.Nodes) > 0 {
+		buf.PrepareF32(q, t.maxAbs, t.f32ok)
 		t.knnRec(0, q, exclude, buf)
 	}
 }
@@ -501,52 +559,130 @@ func (t *Tree) KNNInto(q []float64, exclude int32, buf *KNNBuffer) {
 func (t *Tree) knnRec(ni int32, q []float64, exclude int32, buf *KNNBuffer) {
 	nd := &t.Nodes[ni]
 	if nd.Left == 0 {
-		// Leaf: scan the contiguous coordinate cache sequentially.
-		dim := t.Pts.Dim
-		base := int(nd.Lo) * dim
-		for i := nd.Lo; i < nd.Hi; i++ {
-			if id := t.Idx[i]; id != exclude {
-				buf.Insert(id, geom.SqDist(q, t.LeafCoords[base:base+dim]))
+		if buf.ScanF32() {
+			t.scanLeafF32(nd, q, exclude, buf)
+		} else {
+			// Fallback (huge or NaN coordinates): exact scalar scan of the
+			// float64 truth.
+			for i := nd.Lo; i < nd.Hi; i++ {
+				if id := t.Idx[i]; id != exclude {
+					buf.Insert(id, geom.SqDist(q, t.Pts.At(int(id))))
+				}
 			}
-			base += dim
 		}
 		return
 	}
 	// Descend into the nearer child first.
 	near, far := nd.Left, nd.Right
-	if q[nd.SplitDim] >= nd.SplitVal {
+	ds := q[nd.SplitDim] - nd.SplitVal
+	if ds >= 0 {
 		near, far = far, near
 	}
 	t.knnRec(near, q, exclude, buf)
-	// Paper heuristic (C.1.3): if the buffer is not yet full, eagerly visit
-	// the sibling to establish a pruning bound as fast as possible;
-	// otherwise prune by box distance.
-	if !buf.Full() || boxSqDist(&t.Nodes[far], q, t.Pts.Dim) < buf.Bound() {
+	// Paper heuristic (C.1.3): while no pruning bound exists (neither
+	// collected from leaves nor seeded by the caller), eagerly visit the
+	// sibling to establish one as fast as possible.
+	bd := buf.Bound()
+	if math.IsInf(bd, 1) {
+		t.knnRec(far, q, exclude, buf)
+		return
+	}
+	// The split-plane distance lower-bounds the far child's box distance,
+	// so it prunes (or admits the box test) without touching the far node.
+	if ds*ds < bd && boxSqDist(&t.Nodes[far], q, t.Pts.Dim) < bd {
 		t.knnRec(far, q, exclude, buf)
 	}
 }
 
-func boxSqDist(nd *Node, q []float64, dim int) float64 {
-	s := 0.0
-	for c := 0; c < dim; c++ {
-		if v := q[c]; v < nd.MinC[c] {
-			d := nd.MinC[c] - v
-			s += d * d
-		} else if v > nd.MaxC[c] {
-			d := v - nd.MaxC[c]
-			s += d * d
+// scanLeafF32 is the filtered leaf scan: one kernel call computes the f32
+// squared distances of the whole leaf's columns, then only candidates
+// within the refinement threshold (the f32 image of the current bound,
+// padded by the filter's error — see KNNBuffer.PrepareF32) are re-measured
+// in float64 and offered to the buffer. Points the filter skips provably
+// could not have been inserted, so results are exact, id for id.
+func (t *Tree) scanLeafF32(nd *Node, q []float64, exclude int32, buf *KNNBuffer) {
+	dim := t.Pts.Dim
+	m := int(nd.Hi - nd.Lo)
+	base := int(nd.Lo) * dim
+	dists := buf.DistScratch(m)
+	kernel.SqDistsF32(dists, buf.Q32(dim), t.CoordsF32[base:base+m*dim], m, m)
+	thr := buf.RefineThreshold()
+	eager := math.IsInf(thr, 1)
+	if eager {
+		// Unbounded (eager) phase: bound the true k-th distance from the
+		// f32 scan itself, so even the first leaf refines only ~k points.
+		thr = buf.EagerThreshold(dists)
+	} else if buf.seeded && buf.fresh {
+		// First leaf of a seeded query — for batch queries this is the
+		// query's own leaf, whose (k+1)-th f32 distance usually beats the
+		// triangle-inequality seed. Tighten both the refine threshold and
+		// the pruning bound before paying any float64 work.
+		if t2 := buf.EagerThreshold(dists); t2 < thr {
+			thr = t2
+			buf.tightenBound(t2)
 		}
 	}
-	return s
+	buf.fresh = false
+	for i := 0; i < m; i++ {
+		if float64(dists[i]) <= thr {
+			if id := t.Idx[nd.Lo+int32(i)]; id != exclude {
+				buf.Insert(id, geom.SqDist(q, t.Pts.At(int(id))))
+				if t2 := buf.RefineThreshold(); t2 < thr {
+					thr = t2
+				}
+			}
+		}
+	}
+	if eager {
+		buf.SealEager()
+	}
+}
+
+func boxSqDist(nd *Node, q []float64, dim int) float64 {
+	return kernel.MinSqDistToBox(q, nd.MinC[:dim], nd.MaxC[:dim])
 }
 
 // --- range search -------------------------------------------------------
+
+// rangeChunk is the leaf-scan chunk: PruneBox masks land in a fixed stack
+// buffer so range queries allocate nothing per leaf.
+const rangeChunk = 64
+
+// rangeCtx carries one range query's state down the recursion: the exact
+// float64 box, plus — when the filter is sound — its conservatively
+// widened float32 image for the column filter. The widening (2× the
+// coordinate error bound per side) guarantees every truly-inside point
+// passes the f32 filter; survivors are re-verified against the float64
+// truth, so results are exact.
+type rangeCtx struct {
+	box        geom.Box
+	lo32, hi32 [MaxDim]float32
+	f32        bool
+}
+
+func (t *Tree) makeRangeCtx(box geom.Box) rangeCtx {
+	rc := rangeCtx{box: box}
+	if !t.f32ok {
+		return rc
+	}
+	pad := 2 * t.maxAbs * F32CoordErr
+	for c := 0; c < t.Pts.Dim; c++ {
+		if math.IsNaN(box.Min[c]) || math.IsNaN(box.Max[c]) {
+			return rc
+		}
+		rc.lo32[c] = float32(box.Min[c] - pad)
+		rc.hi32[c] = float32(box.Max[c] + pad)
+	}
+	rc.f32 = true
+	return rc
+}
 
 // RangeSearch returns the indices of all points inside the closed box.
 func (t *Tree) RangeSearch(box geom.Box) []int32 {
 	var out []int32
 	if len(t.Nodes) > 0 {
-		t.rangeRec(0, box, &out)
+		rc := t.makeRangeCtx(box)
+		t.rangeRec(0, &rc, &out)
 	}
 	return out
 }
@@ -555,7 +691,8 @@ func (t *Tree) RangeSearch(box geom.Box) []int32 {
 func (t *Tree) RangeCount(box geom.Box) int {
 	cnt := 0
 	if len(t.Nodes) > 0 {
-		t.rangeCountRec(0, box, &cnt)
+		rc := t.makeRangeCtx(box)
+		t.rangeCountRec(0, &rc, &cnt)
 	}
 	return cnt
 }
@@ -573,9 +710,54 @@ func (t *Tree) nodeBoxIn(nd *Node, box geom.Box) (inside, disjoint bool) {
 	return inside, false
 }
 
-func (t *Tree) rangeRec(ni int32, box geom.Box, out *[]int32) {
+// rangeLeafF32 scans one leaf through the f32 column filter: PruneBox
+// masks rangeChunk points at a time against the widened f32 box, and only
+// masked-in points are verified against the exact float64 box. Appends ids
+// to out when non-nil, else counts into cnt.
+func (t *Tree) rangeLeafF32(nd *Node, rc *rangeCtx, out *[]int32, cnt *int) {
+	dim := t.Pts.Dim
+	m := int(nd.Hi - nd.Lo)
+	base := int(nd.Lo) * dim
+	slab := t.CoordsF32[base : base+m*dim]
+	var mask [rangeChunk]byte
+	for off := 0; off < m; off += rangeChunk {
+		cn := m - off
+		if cn > rangeChunk {
+			cn = rangeChunk
+		}
+		kernel.PruneBox(mask[:cn], rc.lo32[:dim], rc.hi32[:dim], slab[off:], cn, m)
+		for i := 0; i < cn; i++ {
+			if mask[i] == 0 {
+				continue
+			}
+			id := t.Idx[nd.Lo+int32(off+i)]
+			if rc.box.Contains(t.Pts.At(int(id))) {
+				if out != nil {
+					*out = append(*out, id)
+				} else {
+					*cnt++
+				}
+			}
+		}
+	}
+}
+
+func (t *Tree) rangeLeafF64(nd *Node, rc *rangeCtx, out *[]int32, cnt *int) {
+	for i := nd.Lo; i < nd.Hi; i++ {
+		id := t.Idx[i]
+		if rc.box.Contains(t.Pts.At(int(id))) {
+			if out != nil {
+				*out = append(*out, id)
+			} else {
+				*cnt++
+			}
+		}
+	}
+}
+
+func (t *Tree) rangeRec(ni int32, rc *rangeCtx, out *[]int32) {
 	nd := &t.Nodes[ni]
-	inside, disjoint := t.nodeBoxIn(nd, box)
+	inside, disjoint := t.nodeBoxIn(nd, rc.box)
 	if disjoint {
 		return
 	}
@@ -584,23 +766,20 @@ func (t *Tree) rangeRec(ni int32, box geom.Box, out *[]int32) {
 		return
 	}
 	if nd.Left == 0 {
-		dim := t.Pts.Dim
-		base := int(nd.Lo) * dim
-		for i := nd.Lo; i < nd.Hi; i++ {
-			if box.Contains(t.LeafCoords[base : base+dim]) {
-				*out = append(*out, t.Idx[i])
-			}
-			base += dim
+		if rc.f32 {
+			t.rangeLeafF32(nd, rc, out, nil)
+		} else {
+			t.rangeLeafF64(nd, rc, out, nil)
 		}
 		return
 	}
-	t.rangeRec(nd.Left, box, out)
-	t.rangeRec(nd.Right, box, out)
+	t.rangeRec(nd.Left, rc, out)
+	t.rangeRec(nd.Right, rc, out)
 }
 
-func (t *Tree) rangeCountRec(ni int32, box geom.Box, cnt *int) {
+func (t *Tree) rangeCountRec(ni int32, rc *rangeCtx, cnt *int) {
 	nd := &t.Nodes[ni]
-	inside, disjoint := t.nodeBoxIn(nd, box)
+	inside, disjoint := t.nodeBoxIn(nd, rc.box)
 	if disjoint {
 		return
 	}
@@ -609,18 +788,15 @@ func (t *Tree) rangeCountRec(ni int32, box geom.Box, cnt *int) {
 		return
 	}
 	if nd.Left == 0 {
-		dim := t.Pts.Dim
-		base := int(nd.Lo) * dim
-		for i := nd.Lo; i < nd.Hi; i++ {
-			if box.Contains(t.LeafCoords[base : base+dim]) {
-				*cnt++
-			}
-			base += dim
+		if rc.f32 {
+			t.rangeLeafF32(nd, rc, nil, cnt)
+		} else {
+			t.rangeLeafF64(nd, rc, nil, cnt)
 		}
 		return
 	}
-	t.rangeCountRec(nd.Left, box, cnt)
-	t.rangeCountRec(nd.Right, box, cnt)
+	t.rangeCountRec(nd.Left, rc, cnt)
+	t.rangeCountRec(nd.Right, rc, cnt)
 }
 
 // RangeSearchParallel answers many box queries data-parallel.

@@ -96,17 +96,31 @@ func checkPreorder(t *testing.T, tr *Tree, label string) {
 	if root.Lo != 0 || int(root.Hi) != len(tr.Idx) {
 		t.Fatalf("%s: root range [%d,%d), want [0,%d)", label, root.Lo, root.Hi, len(tr.Idx))
 	}
-	// LeafCoords mirrors Idx.
+	// CoordsF32 mirrors Idx leaf by leaf in dimension-major order: leaf
+	// [Lo,Hi) with m points stores coordinate c of its i-th point at
+	// CoordsF32[Lo*dim + c*m + i], rounded to float32.
 	dim := tr.Pts.Dim
-	for i, id := range tr.Idx {
-		want := tr.Pts.At(int(id))
-		got := tr.LeafCoords[i*dim : (i+1)*dim]
-		for c := range want {
-			if got[c] != want[c] {
-				t.Fatalf("%s: LeafCoords[%d] = %v, want point %d = %v", label, i, got, id, want)
+	var walkLeaves func(ni int32)
+	walkLeaves = func(ni int32) {
+		nd := &tr.Nodes[ni]
+		if !nd.IsLeaf() {
+			walkLeaves(nd.Left)
+			walkLeaves(nd.Right)
+			return
+		}
+		m := int(nd.Hi - nd.Lo)
+		slab := tr.CoordsF32[int(nd.Lo)*dim : int(nd.Lo)*dim+m*dim]
+		for i := 0; i < m; i++ {
+			want := tr.Pts.At(int(tr.Idx[int(nd.Lo)+i]))
+			for c := 0; c < dim; c++ {
+				if got := slab[c*m+i]; got != float32(want[c]) {
+					t.Fatalf("%s: leaf [%d,%d) slab[%d*%d+%d] = %v, want f32(%v)",
+						label, nd.Lo, nd.Hi, c, m, i, got, want[c])
+				}
 			}
 		}
 	}
+	walkLeaves(0)
 }
 
 // TestObjectNodeCountExact cross-checks the O(log m) level-walk node

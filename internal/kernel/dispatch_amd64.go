@@ -1,0 +1,51 @@
+//go:build amd64 && !noasm
+
+package kernel
+
+// init probes the host once and arms the AVX2 kernels when the CPU and
+// the OS both support them. The `noasm` build tag removes this file (and
+// the assembly) entirely, leaving the portable baseline.
+func init() {
+	hasAVX2 = detectAVX2()
+	useAsm.Store(hasAVX2)
+}
+
+// sqDistsAVX2 is the assembly scan kernel (kernel_amd64.s): n must be a
+// positive multiple of 8; the Go wrapper scans any tail.
+//
+//go:noescape
+func sqDistsAVX2(dst, q, cols *float32, n, dim, stride int)
+
+// pruneBoxAVX2 is the assembly box filter (kernel_amd64.s); same calling
+// contract as sqDistsAVX2.
+//
+//go:noescape
+func pruneBoxAVX2(mask *byte, lo, hi, cols *float32, n, dim, stride int)
+
+// cpuidEx executes CPUID with the given leaf and subleaf.
+func cpuidEx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX2 reports whether AVX2 kernels can run here: the CPU must
+// advertise AVX and AVX2, and the OS must have enabled XMM+YMM state
+// saving (OSXSAVE set and XCR0 bits 1–2 on), else executing VEX.256
+// instructions faults.
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidEx(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidEx(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	lo, _ := xgetbv0()
+	if lo&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b7, _, _ := cpuidEx(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}

@@ -1,0 +1,15 @@
+//go:build !amd64 || noasm
+
+package kernel
+
+// No accelerated implementation in this build: hasAVX2 stays false and
+// useAsm stays unset, so the dispatchers never reach the stubs below.
+// They exist only to satisfy the references in kernel.go.
+
+func sqDistsAVX2(dst, q, cols *float32, n, dim, stride int) {
+	panic("kernel: sqDistsAVX2 called in a build without assembly")
+}
+
+func pruneBoxAVX2(mask *byte, lo, hi, cols *float32, n, dim, stride int) {
+	panic("kernel: pruneBoxAVX2 called in a build without assembly")
+}

@@ -1,0 +1,37 @@
+// Package kernel owns the distance-and-prune scan primitives the spatial
+// indexes' inner loops are built from: batched squared distances over
+// dimension-major (SoA) float32 coordinate columns (SqDistsF32), the
+// matching batched box-membership filter (PruneBox), and the float64
+// point-to-box distance used for subtree pruning (MinSqDistToBox).
+//
+// The package exists to isolate data-level parallelism behind a portable
+// interface, the way an accelerated gemm hides behind an FFI with a noop
+// fallback: callers see one function per primitive, and the package picks
+// the fastest implementation the host supports at init. On amd64 the f32
+// column kernels have an AVX2 Go-assembly implementation (8 points per
+// vector lane group); everywhere else — and under the `noasm` build tag,
+// the escape hatch for debugging or excluding assembly — the pure-Go
+// baseline runs. Impl reports the active choice and SetImpl overrides it,
+// which is how the parity tests and the SoA benchmark sections drive both
+// implementations through identical inputs.
+//
+// Bit-identical contract: the AVX2 kernels deliberately use separate
+// multiply and add instructions (never FMA), and the pure-Go kernels force
+// float32 rounding of each product with an explicit conversion, so both
+// implementations produce bit-identical outputs — not merely identical
+// prune decisions — for every input, including ±Inf and denormals. The
+// one carve-out is NaN payloads: Go itself leaves them unspecified (the
+// compiler may reorder commutative operands), so when an output is NaN,
+// only NaN-ness is promised, not the payload bits — which still pins
+// every comparison and prune decision, since NaN compares false in both
+// implementations. The parity suite asserts this exhaustively; it is what
+// lets every layer above treat the implementation choice as unobservable.
+//
+// Numerical role: float32 columns are a conservative FILTER, never the
+// answer. The storage layers (kdtree, bdltree) scan f32 columns to discard
+// points that provably cannot matter, then re-verify every surviving
+// candidate against the retained float64 coordinates. The error-bound
+// argument that makes the filter exact lives with the callers (see
+// internal/kdtree and docs/ARCHITECTURE.md "Scan kernels"); this package
+// only promises exact, deterministic f32 arithmetic.
+package kernel

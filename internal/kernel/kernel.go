@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// useAsm gates the accelerated implementation on every call. It is atomic
+// so SetImpl (a test/bench hook) can flip implementations while queries
+// run under the race detector; the hot-path cost is a plain load.
+var useAsm atomic.Bool
+
+// hasAVX2 records whether the accelerated implementation is available on
+// this host (set by the amd64 init, false elsewhere and under noasm).
+var hasAVX2 bool
+
+// Impl reports the active implementation: "avx2" or "go".
+func Impl() string {
+	if useAsm.Load() {
+		return "avx2"
+	}
+	return "go"
+}
+
+// Available reports whether the named implementation ("go" or "avx2") can
+// run on this host with this build.
+func Available(name string) bool {
+	switch name {
+	case "go":
+		return true
+	case "avx2":
+		return hasAVX2
+	}
+	return false
+}
+
+// SetImpl forces the named implementation ("go" or "avx2"). It is the
+// test and benchmark hook behind the parity suite and the SoA bench
+// sections; production callers never need it — init already picked the
+// fastest available. Returns an error when the implementation cannot run
+// on this host or build (e.g. "avx2" under the noasm tag).
+func SetImpl(name string) error {
+	if !Available(name) {
+		return fmt.Errorf("kernel: implementation %q not available (have %q)", name, Impl())
+	}
+	useAsm.Store(name == "avx2")
+	return nil
+}
+
+// SqDistsF32 computes dst[i] = Σ_c (cols[c*stride+i] − q[c])² for
+// i < n over a dimension-major float32 slab: column c of the slab holds
+// the c-th coordinate of every point, starting at cols[c*stride]. len(q)
+// is the dimensionality; stride ≥ n is the column stride in elements
+// (callers scanning a chunk of a larger slab pass the slab's stride).
+//
+// Accumulation order is fixed (c ascending, each product rounded to
+// float32 before the add), so results are bit-identical across
+// implementations — except NaN payload bits, which Go leaves unspecified
+// (NaN-ness itself is deterministic).
+func SqDistsF32(dst []float32, q []float32, cols []float32, n, stride int) {
+	if n == 0 {
+		return
+	}
+	checkSlab(len(dst), len(q), len(cols), n, stride)
+	if useAsm.Load() && n >= 8 {
+		n8 := n &^ 7
+		sqDistsAVX2(&dst[0], &q[0], &cols[0], n8, len(q), stride)
+		if n8 == n {
+			return
+		}
+		sqDistsGeneric(dst[n8:n], q, cols[n8:], n-n8, stride)
+		return
+	}
+	sqDistsGeneric(dst[:n], q, cols, n, stride)
+}
+
+// PruneBox sets mask[i] = 1 when point i of the dimension-major slab lies
+// inside the closed box [lo, hi] in every dimension, and 0 otherwise
+// (layout as in SqDistsF32; len(lo) = len(hi) is the dimensionality).
+// A NaN coordinate never tests inside, matching Go's comparison
+// semantics, so decisions are bit-identical across implementations.
+func PruneBox(mask []byte, lo, hi []float32, cols []float32, n, stride int) {
+	if n == 0 {
+		return
+	}
+	if len(lo) != len(hi) {
+		panic("kernel: PruneBox lo/hi length mismatch")
+	}
+	checkSlab(len(mask), len(lo), len(cols), n, stride)
+	if useAsm.Load() && n >= 8 {
+		n8 := n &^ 7
+		pruneBoxAVX2(&mask[0], &lo[0], &hi[0], &cols[0], n8, len(lo), stride)
+		if n8 == n {
+			return
+		}
+		pruneBoxGeneric(mask[n8:n], lo, hi, cols[n8:], n-n8, stride)
+		return
+	}
+	pruneBoxGeneric(mask[:n], lo, hi, cols, n, stride)
+}
+
+// MinSqDistToBox returns the squared Euclidean distance from q to the
+// closed axis-aligned box [lo, hi] (0 when q is inside). This is the
+// float64 subtree-pruning primitive of the k-NN descent; it is pure Go in
+// every build — it touches len(q) ≤ 8 scalars per call, where dispatch
+// overhead would exceed the vector win.
+func MinSqDistToBox(q, lo, hi []float64) float64 {
+	s := 0.0
+	for c := range q {
+		// Branchless per-dimension excess: at most one of the two deltas is
+		// positive, and inside the box both are ≤ 0. Data-dependent branches
+		// here mispredict constantly on real traversals.
+		v := q[c]
+		d := max(lo[c]-v, v-hi[c], 0)
+		s += d * d
+	}
+	return s
+}
+
+// checkSlab validates one dimension-major kernel call up front so the
+// implementations can run unchecked: dst covers n outputs, the slab holds
+// every addressed element (column d-1 ends at (d-1)*stride + n), and the
+// chunk fits its stride.
+func checkSlab(dstLen, dim, colsLen, n, stride int) {
+	if dim == 0 {
+		panic("kernel: zero-dimensional call")
+	}
+	if stride < n {
+		panic("kernel: column stride shorter than point count")
+	}
+	if dstLen < n {
+		panic("kernel: output shorter than point count")
+	}
+	if colsLen < (dim-1)*stride+n {
+		panic("kernel: slab shorter than dim*stride layout requires")
+	}
+}
+
+// sqDistsGeneric is the portable scan kernel: one pass per coordinate
+// column, accumulating into dst. The explicit float32 conversion of each
+// product bars the compiler from fusing multiply and add (Go permits FMA
+// contraction otherwise), which keeps results bit-identical to the
+// mul-then-add AVX2 kernel on every platform.
+func sqDistsGeneric(dst, q, cols []float32, n, stride int) {
+	col := cols[:n]
+	q0 := q[0]
+	for i := range dst {
+		d := col[i] - q0
+		dst[i] = float32(d * d)
+	}
+	for c := 1; c < len(q); c++ {
+		col = cols[c*stride : c*stride+n]
+		qc := q[c]
+		for i := range dst {
+			d := col[i] - qc
+			dst[i] += float32(d * d)
+		}
+	}
+}
+
+// pruneBoxGeneric is the portable box filter: column passes narrowing the
+// mask. Comparisons are the Go-native >=/<=, so NaN excludes — the same
+// decision the AVX2 ordered-compare predicates make.
+func pruneBoxGeneric(mask []byte, lo, hi, cols []float32, n, stride int) {
+	col := cols[:n]
+	for i := range mask {
+		if col[i] >= lo[0] && col[i] <= hi[0] {
+			mask[i] = 1
+		} else {
+			mask[i] = 0
+		}
+	}
+	for c := 1; c < len(lo); c++ {
+		col = cols[c*stride : c*stride+n]
+		lc, hc := lo[c], hi[c]
+		for i := range mask {
+			if !(col[i] >= lc && col[i] <= hc) {
+				mask[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func sqDistsAVX2(dst, q, cols *float32, n, dim, stride int)
+//
+// Processes 8 points per iteration over a dimension-major slab:
+// for each group of 8 points, walk the dim columns (stride apart),
+// broadcast q[c], subtract, square, accumulate. Deliberately uses
+// separate VMULPS+VADDPS (never FMA) so every partial sum is rounded to
+// float32 exactly like the pure-Go kernel — outputs are bit-identical.
+// n must be a positive multiple of 8 (the Go wrapper handles tails).
+TEXT ·sqDistsAVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ q+8(FP), SI
+	MOVQ cols+16(FP), DX
+	MOVQ n+24(FP), CX
+	MOVQ dim+32(FP), R8
+	MOVQ stride+40(FP), R9
+	SHLQ $2, R9          // column stride in bytes
+	XORQ AX, AX          // i: point-group base
+
+pt8:
+	CMPQ AX, CX
+	JGE  sqdone
+	VXORPS Y0, Y0, Y0    // accumulator for 8 points
+	LEAQ (DX)(AX*4), R10 // &cols[i] in column 0
+	XORQ R11, R11        // c: dimension index
+
+sqdim:
+	CMPQ R11, R8
+	JGE  sqstore
+	VBROADCASTSS (SI)(R11*4), Y2
+	VMOVUPS (R10), Y1
+	VSUBPS Y2, Y1, Y1    // col - q[c]
+	VMULPS Y1, Y1, Y1    // rounded square (no FMA)
+	VADDPS Y1, Y0, Y0
+	ADDQ R9, R10         // next column, same points
+	INCQ R11
+	JMP  sqdim
+
+sqstore:
+	VMOVUPS Y0, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  pt8
+
+sqdone:
+	VZEROUPPER
+	RET
+
+// func pruneBoxAVX2(mask *byte, lo, hi, cols *float32, n, dim, stride int)
+//
+// mask[i] = 1 iff lo[c] <= cols[c*stride+i] <= hi[c] for every c.
+// Ordered compare predicates (GE_OS, LE_OS) make NaN coordinates test
+// outside, matching Go's >=/<= — decisions are bit-identical to the
+// pure-Go kernel. n must be a positive multiple of 8.
+TEXT ·pruneBoxAVX2(SB), NOSPLIT, $0-56
+	MOVQ mask+0(FP), DI
+	MOVQ lo+8(FP), SI
+	MOVQ hi+16(FP), BX
+	MOVQ cols+24(FP), DX
+	MOVQ n+32(FP), CX
+	MOVQ dim+40(FP), R8
+	MOVQ stride+48(FP), R9
+	SHLQ $2, R9          // column stride in bytes
+	VPCMPEQD Y6, Y6, Y6
+	VPSRLD $31, Y6, Y6   // every dword lane = 1
+	XORQ AX, AX          // i: point-group base
+
+pbpt8:
+	CMPQ AX, CX
+	JGE  pbdone
+	VPCMPEQD Y0, Y0, Y0  // running mask: all-true
+	LEAQ (DX)(AX*4), R10 // &cols[i] in column 0
+	XORQ R11, R11        // c: dimension index
+
+pbdim:
+	CMPQ R11, R8
+	JGE  pbreduce
+	VMOVUPS (R10), Y1
+	VBROADCASTSS (SI)(R11*4), Y2
+	VBROADCASTSS (BX)(R11*4), Y3
+	VCMPPS $0x0D, Y2, Y1, Y4 // col >= lo[c]  (GE_OS: NaN -> false)
+	VCMPPS $0x02, Y3, Y1, Y5 // col <= hi[c]  (LE_OS: NaN -> false)
+	VPAND Y4, Y0, Y0
+	VPAND Y5, Y0, Y0
+	ADDQ R9, R10
+	INCQ R11
+	JMP  pbdim
+
+pbreduce:
+	VPAND Y6, Y0, Y0          // 0/-1 dwords -> 0/1 dwords
+	VEXTRACTI128 $1, Y0, X1
+	VPACKSSDW X1, X0, X0      // 8 dwords -> 8 words
+	VPACKUSWB X0, X0, X0      // 8 words -> 8 bytes (low half)
+	VMOVQ X0, (DI)(AX*1)
+	ADDQ $8, AX
+	JMP  pbpt8
+
+pbdone:
+	VZEROUPPER
+	RET
+
+// func cpuidEx(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidEx(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

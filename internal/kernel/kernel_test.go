@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refSqDists is an independent straight-line reference: point-major
+// iteration, float64 accumulation of float32-rounded products. It mirrors
+// the contract (each product rounded to f32, summed in order) without
+// sharing code with either implementation.
+func refSqDists(q, cols []float32, n, stride int) []float32 {
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float32
+		for c := range q {
+			d := cols[c*stride+i] - q[c]
+			s += float32(float64(d) * float64(d))
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func refPruneBox(lo, hi, cols []float32, n, stride int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		in := byte(1)
+		for c := range lo {
+			v := cols[c*stride+i]
+			if !(v >= lo[c] && v <= hi[c]) {
+				in = 0
+			}
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func randSlab(rng *rand.Rand, dim, n, stride int) []float32 {
+	slab := make([]float32, (dim-1)*stride+n)
+	for i := range slab {
+		slab[i] = float32(rng.NormFloat64() * 100)
+	}
+	return slab
+}
+
+func TestSqDistsF32MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, impl := range []string{"go", "avx2"} {
+		if !Available(impl) {
+			continue
+		}
+		if err := SetImpl(impl); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			dim := 1 + rng.Intn(8)
+			n := rng.Intn(70)
+			stride := n + rng.Intn(5)
+			if stride == 0 {
+				stride = 1
+			}
+			slab := randSlab(rng, dim, n, stride)
+			q := make([]float32, dim)
+			for c := range q {
+				q[c] = float32(rng.NormFloat64() * 100)
+			}
+			dst := make([]float32, n)
+			SqDistsF32(dst, q, slab, n, stride)
+			want := refSqDists(q, slab, n, stride)
+			for i := range dst {
+				if math.Float32bits(dst[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("impl=%s trial=%d dim=%d n=%d: dst[%d]=%x want %x",
+						impl, trial, dim, n, i, math.Float32bits(dst[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+	}
+	resetImpl(t)
+}
+
+func TestPruneBoxMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, impl := range []string{"go", "avx2"} {
+		if !Available(impl) {
+			continue
+		}
+		if err := SetImpl(impl); err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			dim := 1 + rng.Intn(8)
+			n := rng.Intn(70)
+			stride := n + rng.Intn(5)
+			if stride == 0 {
+				stride = 1
+			}
+			slab := randSlab(rng, dim, n, stride)
+			lo := make([]float32, dim)
+			hi := make([]float32, dim)
+			for c := range lo {
+				a := float32(rng.NormFloat64() * 100)
+				b := float32(rng.NormFloat64() * 100)
+				if a > b {
+					a, b = b, a
+				}
+				lo[c], hi[c] = a, b
+			}
+			mask := make([]byte, n)
+			PruneBox(mask, lo, hi, slab, n, stride)
+			want := refPruneBox(lo, hi, slab, n, stride)
+			for i := range mask {
+				if mask[i] != want[i] {
+					t.Fatalf("impl=%s trial=%d dim=%d n=%d: mask[%d]=%d want %d",
+						impl, trial, dim, n, i, mask[i], want[i])
+				}
+			}
+		}
+	}
+	resetImpl(t)
+}
+
+func TestMinSqDistToBox(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	cases := []struct {
+		q    []float64
+		want float64
+	}{
+		{[]float64{0.5, 0.5}, 0},           // inside
+		{[]float64{0, 1}, 0},               // on the corner
+		{[]float64{2, 0.5}, 1},             // right face
+		{[]float64{-3, 0.5}, 9},            // left face
+		{[]float64{2, 3}, 1 + 4},           // outside corner
+		{[]float64{-1, -1}, 2},             // opposite corner
+		{[]float64{0.25, -0.5}, 0.25},      // below
+		{[]float64{1.5, 1.5}, 0.25 + 0.25}, // diagonal
+	}
+	for _, c := range cases {
+		if got := MinSqDistToBox(c.q, lo, hi); got != c.want {
+			t.Errorf("MinSqDistToBox(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestImplSelection(t *testing.T) {
+	if !Available("go") {
+		t.Fatal("pure-Go implementation must always be available")
+	}
+	if err := SetImpl("go"); err != nil {
+		t.Fatal(err)
+	}
+	if Impl() != "go" {
+		t.Fatalf("Impl() = %q after SetImpl(go)", Impl())
+	}
+	if err := SetImpl("neon"); err == nil {
+		t.Fatal("SetImpl of an unknown implementation must fail")
+	}
+	if Available("avx2") {
+		if err := SetImpl("avx2"); err != nil {
+			t.Fatal(err)
+		}
+		if Impl() != "avx2" {
+			t.Fatalf("Impl() = %q after SetImpl(avx2)", Impl())
+		}
+	} else if err := SetImpl("avx2"); err == nil {
+		t.Fatal("SetImpl(avx2) must fail when unavailable")
+	}
+	resetImpl(t)
+}
+
+func TestZeroPointCallsAreNoops(t *testing.T) {
+	// n == 0 must not touch (or validate) the slab at all.
+	SqDistsF32(nil, []float32{1}, nil, 0, 0)
+	PruneBox(nil, []float32{0}, []float32{1}, nil, 0, 0)
+}
+
+func TestCheckSlabPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"zero-dim", func() {
+			SqDistsF32(make([]float32, 4), nil, make([]float32, 4), 4, 4)
+		}},
+		{"stride<n", func() {
+			SqDistsF32(make([]float32, 4), []float32{0}, make([]float32, 4), 4, 3)
+		}},
+		{"short-dst", func() {
+			SqDistsF32(make([]float32, 3), []float32{0}, make([]float32, 4), 4, 4)
+		}},
+		{"short-slab", func() {
+			SqDistsF32(make([]float32, 4), []float32{0, 0}, make([]float32, 7), 4, 4)
+		}},
+		{"prune-lo-hi-mismatch", func() {
+			PruneBox(make([]byte, 4), []float32{0}, []float32{0, 1}, make([]float32, 4), 4, 4)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			c.call()
+		})
+	}
+}
+
+// resetImpl restores the init-time implementation choice so test order
+// cannot leak a forced implementation into other tests.
+func resetImpl(t *testing.T) {
+	t.Helper()
+	useAsm.Store(hasAVX2)
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// special float32 values mixed into parity slabs: NaN, infinities,
+// denormals, signed zeros, and magnitude extremes. Bit-identity must hold
+// through all of them — that is what makes the implementation choice
+// unobservable to every layer above.
+var specials = []float32{
+	float32(math.NaN()),
+	float32(math.Inf(1)),
+	float32(math.Inf(-1)),
+	math.Float32frombits(1),          // smallest denormal
+	math.Float32frombits(0x007fffff), // largest denormal
+	math.Float32frombits(0x80000001), // negative denormal
+	float32(math.Copysign(0, -1)),
+	math.MaxFloat32,
+	-math.MaxFloat32,
+	math.SmallestNonzeroFloat32,
+	0, 1, -1, 0.5,
+}
+
+func fillParity(rng *rand.Rand, s []float32) {
+	for i := range s {
+		switch rng.Intn(4) {
+		case 0:
+			s[i] = specials[rng.Intn(len(specials))]
+		case 1:
+			s[i] = float32(rng.NormFloat64() * 1e6)
+		case 2:
+			s[i] = float32(rng.NormFloat64() * 1e-6)
+		default:
+			s[i] = float32(rng.NormFloat64())
+		}
+	}
+}
+
+// sameBits32 reports whether two outputs agree under the kernel contract:
+// bit-identical, except that two NaNs match regardless of payload (Go
+// leaves NaN payload bits unspecified).
+func sameBits32(a, b float32) bool {
+	if math.Float32bits(a) == math.Float32bits(b) {
+		return true
+	}
+	return math.IsNaN(float64(a)) && math.IsNaN(float64(b))
+}
+
+// TestParitySqDists runs SqDistsF32 on random slabs (laced with NaN, Inf,
+// and denormals) under both implementations and asserts the outputs are
+// bit-identical — not approximately equal.
+func TestParitySqDists(t *testing.T) {
+	if !Available("avx2") {
+		t.Skip("avx2 implementation not available in this build/host")
+	}
+	defer resetImpl(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		dim := 1 + rng.Intn(8)
+		n := rng.Intn(70)
+		stride := n + rng.Intn(9)
+		if stride == 0 {
+			stride = 1
+		}
+		slab := make([]float32, (dim-1)*stride+n)
+		fillParity(rng, slab)
+		q := make([]float32, dim)
+		fillParity(rng, q)
+
+		gotGo := make([]float32, n)
+		gotAsm := make([]float32, n)
+		if err := SetImpl("go"); err != nil {
+			t.Fatal(err)
+		}
+		SqDistsF32(gotGo, q, slab, n, stride)
+		if err := SetImpl("avx2"); err != nil {
+			t.Fatal(err)
+		}
+		SqDistsF32(gotAsm, q, slab, n, stride)
+
+		for i := range gotGo {
+			if !sameBits32(gotGo[i], gotAsm[i]) {
+				t.Fatalf("trial=%d dim=%d n=%d stride=%d: point %d diverges: go=%08x avx2=%08x (go=%v avx2=%v)",
+					trial, dim, n, stride, i,
+					math.Float32bits(gotGo[i]), math.Float32bits(gotAsm[i]), gotGo[i], gotAsm[i])
+			}
+		}
+	}
+}
+
+// TestParityPruneBox does the same for the box filter: identical prune
+// decisions on every slab, including NaN coordinates (never inside) and
+// degenerate lo==hi boxes.
+func TestParityPruneBox(t *testing.T) {
+	if !Available("avx2") {
+		t.Skip("avx2 implementation not available in this build/host")
+	}
+	defer resetImpl(t)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 500; trial++ {
+		dim := 1 + rng.Intn(8)
+		n := rng.Intn(70)
+		stride := n + rng.Intn(9)
+		if stride == 0 {
+			stride = 1
+		}
+		slab := make([]float32, (dim-1)*stride+n)
+		fillParity(rng, slab)
+		lo := make([]float32, dim)
+		hi := make([]float32, dim)
+		fillParity(rng, lo)
+		for c := range hi {
+			switch rng.Intn(3) {
+			case 0:
+				hi[c] = lo[c] // degenerate box
+			case 1:
+				hi[c] = lo[c] + float32(math.Abs(rng.NormFloat64()))
+			default:
+				hi[c] = specials[rng.Intn(len(specials))]
+			}
+		}
+
+		gotGo := make([]byte, n)
+		gotAsm := make([]byte, n)
+		if err := SetImpl("go"); err != nil {
+			t.Fatal(err)
+		}
+		PruneBox(gotGo, lo, hi, slab, n, stride)
+		if err := SetImpl("avx2"); err != nil {
+			t.Fatal(err)
+		}
+		PruneBox(gotAsm, lo, hi, slab, n, stride)
+
+		for i := range gotGo {
+			if gotGo[i] != gotAsm[i] {
+				t.Fatalf("trial=%d dim=%d n=%d stride=%d: point %d decision diverges: go=%d avx2=%d",
+					trial, dim, n, stride, i, gotGo[i], gotAsm[i])
+			}
+		}
+	}
+}

@@ -24,6 +24,34 @@ func BitsPerDim(dim int) int {
 	return b
 }
 
+// quantize maps coordinate v on axis c to its cell index in [0, maxCell]
+// (clamped to the box).
+func quantize(v float64, box geom.Box, c int, maxCell uint64) uint64 {
+	ext := box.Max[c] - box.Min[c]
+	if ext <= 0 {
+		return 0
+	}
+	f := (v - box.Min[c]) / ext
+	if f < 0 {
+		f = 0
+	} else if f > 1 {
+		f = 1
+	}
+	cell := uint64(f * float64(maxCell))
+	if cell > maxCell {
+		cell = maxCell
+	}
+	return cell
+}
+
+// interleave spreads bit k of cell to position k*dim+c of the code.
+func interleave(code, cell uint64, bits, dim, c int) uint64 {
+	for k := 0; k < bits; k++ {
+		code |= ((cell >> uint(k)) & 1) << uint(k*dim+c)
+	}
+	return code
+}
+
 // Encode computes the Morton code of coordinates p inside box (coordinates
 // are clamped to the box).
 func Encode(p []float64, box geom.Box) uint64 {
@@ -32,24 +60,38 @@ func Encode(p []float64, box geom.Box) uint64 {
 	maxCell := uint64(1)<<bits - 1
 	var code uint64
 	for c := 0; c < dim; c++ {
-		ext := box.Max[c] - box.Min[c]
-		var cell uint64
-		if ext > 0 {
-			f := (p[c] - box.Min[c]) / ext
-			if f < 0 {
-				f = 0
-			} else if f > 1 {
-				f = 1
-			}
-			cell = uint64(f * float64(maxCell))
-			if cell > maxCell {
-				cell = maxCell
-			}
-		}
-		// Interleave: bit k of cell goes to position k*dim + c.
-		for k := 0; k < bits; k++ {
-			code |= ((cell >> uint(k)) & 1) << uint(k*dim+c)
-		}
+		code = interleave(code, quantize(p[c], box, c, maxCell), bits, dim, c)
+	}
+	return code
+}
+
+// EncodeF32 computes the Morton code of float32 coordinates p inside box.
+// Quantization uses at most 21 bits per axis — well inside float32's 24-bit
+// mantissa — so a point stored as float32 lands in the same cell as its
+// float64 original whenever the rounding error does not cross a cell
+// boundary; codes from the two representations differ by at most one cell
+// per axis.
+func EncodeF32(p []float32, box geom.Box) uint64 {
+	dim := len(p)
+	bits := BitsPerDim(dim)
+	maxCell := uint64(1)<<bits - 1
+	var code uint64
+	for c := 0; c < dim; c++ {
+		code = interleave(code, quantize(float64(p[c]), box, c, maxCell), bits, dim, c)
+	}
+	return code
+}
+
+// EncodeCols computes the Morton code of row i of a dimension-major float32
+// column store: coordinate c of row i lives at cols[c*stride+i]. This is
+// the layout the kd-tree leaf slabs and the engine's recent-write ring use,
+// so routing stays strided reads with no row materialization.
+func EncodeCols(cols []float32, stride, i, dim int, box geom.Box) uint64 {
+	bits := BitsPerDim(dim)
+	maxCell := uint64(1)<<bits - 1
+	var code uint64
+	for c := 0; c < dim; c++ {
+		code = interleave(code, quantize(float64(cols[c*stride+i]), box, c, maxCell), bits, dim, c)
 	}
 	return code
 }
